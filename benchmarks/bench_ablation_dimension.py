@@ -1,0 +1,70 @@
+"""Ablation: stability of the paper's orderings across dimensionality.
+
+The paper fixes d ≈ 10,000; the tests and several benches run smaller.
+This benchmark verifies the qualitative conclusions are not artefacts of
+one dimension by rerunning one classification task and one regression
+task at d ∈ {1024, 2048, 4096}:
+
+* classification: circular > max(random, level) at every d,
+* regression: circular < level < random at every d.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_report
+
+from repro.analysis import format_table
+from repro.datasets import make_jigsaws_like, make_mars_express_like
+from repro.experiments import (
+    ClassificationConfig,
+    RegressionConfig,
+    run_classification,
+    run_mars_express,
+)
+
+DIMS = (1024, 2048, 4096)
+
+
+def test_dimension_stability(benchmark):
+    cls_split = make_jigsaws_like(task="suturing", seed=0)
+    reg_split = make_mars_express_like(seed=0)
+
+    def sweep():
+        rows = {}
+        for dim in DIMS:
+            c_config = ClassificationConfig(dim=dim, seed=2023)
+            r_config = RegressionConfig(dim=dim, seed=2023)
+            accs = {
+                kind: run_classification(
+                    "suturing", kind, config=c_config, split=cls_split
+                ).accuracy
+                for kind in ("random", "level", "circular")
+            }
+            mses = {
+                kind: run_mars_express(kind, config=r_config, split=reg_split).mse
+                for kind in ("random", "level", "circular")
+            }
+            rows[dim] = (accs, mses)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    table_rows = []
+    for dim, (accs, mses) in rows.items():
+        table_rows.append(
+            [
+                dim,
+                f"{accs['random']:.3f}/{accs['level']:.3f}/{accs['circular']:.3f}",
+                f"{mses['random']:.0f}/{mses['level']:.0f}/{mses['circular']:.0f}",
+            ]
+        )
+    report = format_table(
+        ["d", "suturing acc (rnd/lvl/circ)", "mars MSE (rnd/lvl/circ)"],
+        table_rows,
+        title="Ablation — ordering stability across dimensionality",
+    )
+    save_report("ablation_dimension", report)
+
+    for dim, (accs, mses) in rows.items():
+        assert accs["circular"] > max(accs["random"], accs["level"]), dim
+        assert mses["circular"] < mses["level"] < mses["random"], dim

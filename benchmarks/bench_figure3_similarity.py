@@ -1,0 +1,55 @@
+"""Figure 3: pairwise similarity structure of the three basis kinds.
+
+Generates random / level / circular sets at the paper's dimensionality
+and prints their similarity matrices as ASCII heatmaps plus numeric rows.
+Asserts the structural signatures visible in the paper's figure:
+
+* random — flat 0.5 off-diagonal,
+* level — similarity decays monotonically with index separation,
+* circular — similarity decays to 0.5 at the opposite point and rises
+  again (the wrap-around band structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once, save_report
+
+from repro.analysis import figure3_data, format_table, render_heatmap
+
+SIZE = 10
+DIM = 10_000
+
+
+def test_figure3(benchmark):
+    data = run_once(benchmark, lambda: figure3_data(size=SIZE, dim=DIM, seed=2023))
+
+    sections = []
+    for kind, matrix in data.items():
+        rows = [[f"{i}"] + [float(v) for v in matrix[i]] for i in range(SIZE)]
+        table = format_table(
+            ["i\\j"] + [str(j) for j in range(SIZE)],
+            rows,
+            title=f"Figure 3 — {kind} basis pairwise similarity (size={SIZE}, d={DIM})",
+            digits=2,
+        )
+        sections.append(table + "\n" + render_heatmap(matrix, vmin=0.5, vmax=1.0))
+    save_report("figure3_similarity", "\n\n".join(sections))
+
+    random_m, level_m, circular_m = (
+        data["random"],
+        data["level"],
+        data["circular"],
+    )
+    off = ~np.eye(SIZE, dtype=bool)
+    assert np.abs(random_m[off] - 0.5).max() < 0.05
+
+    level_row = level_m[0]
+    assert all(b < a for a, b in zip(level_row, level_row[1:]))
+    assert level_row[-1] == np.clip(level_row[-1], 0.45, 0.55)
+
+    circ_row = circular_m[0]
+    opposite = SIZE // 2
+    assert abs(circ_row[opposite] - 0.5) < 0.05
+    assert circ_row[-1] > circ_row[opposite]  # wraps back up
+    assert abs(circ_row[1] - circ_row[-1]) < 0.05  # symmetric around the circle

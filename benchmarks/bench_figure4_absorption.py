@@ -1,0 +1,79 @@
+"""Figure 4: the bit-flip Markov chain (validation benchmark).
+
+Figure 4 is a schematic of the absorbing chain behind scatter codes; the
+reproducible quantity is its expected absorption time 𭟋 (Section 4.2).
+This benchmark solves the tridiagonal system at the paper's
+dimensionality for a sweep of target distances Δ, cross-checks the O(K)
+Thomas solution against the independent ladder closed form, and validates
+a mid-size case against Monte-Carlo simulation of the chain itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once, save_report
+
+from repro.analysis import format_table
+from repro.markov import (
+    BirthDeathChain,
+    expected_absorption_steps,
+    expected_flips_ladder,
+    flips_for_expected_distance,
+)
+
+DIM = 10_000
+DELTAS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def test_figure4_absorption_times(benchmark):
+    def sweep():
+        rows = []
+        for delta in DELTAS:
+            target_bits = int(round(delta * DIM))
+            tri = expected_absorption_steps(DIM, target_bits)
+            ladder = expected_flips_ladder(DIM, target_bits)
+            naive = flips_for_expected_distance(DIM, min(delta, 0.499999))
+            rows.append((delta, target_bits, tri, ladder, naive))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report = format_table(
+        ["Δ", "target bits", "𭟋 (tridiagonal)", "𭟋 (ladder)", "F (expectation-matching)"],
+        [[f"{d:.2f}", t, tri, lad, nv] for d, t, tri, lad, nv in rows],
+        title=f"Figure 4 — expected flips to reach distance Δ·d (d={DIM})",
+        digits=1,
+    )
+    save_report("figure4_absorption", report)
+
+    for _, _, tri, ladder, _ in rows:
+        assert tri == np.clip(tri, 0.999 * ladder, 1.001 * ladder)
+    # Absorption times grow super-linearly toward Δ = 0.5 ...
+    steps = [row[2] for row in rows]
+    assert all(b > a for a, b in zip(steps, steps[1:]))
+    # ... and exceed the no-revisit count target_bits for large Δ.
+    assert rows[-1][2] > rows[-1][1]
+
+
+def test_figure4_monte_carlo_agreement(benchmark):
+    """Simulation of the chain agrees with the analytic solution."""
+    dim, target = 256, 100
+
+    def simulate():
+        chain = BirthDeathChain.bit_flip_chain(dim, target)
+        return chain.simulate_absorption(start=0, trials=2000, seed=0)
+
+    samples = run_once(benchmark, simulate)
+    expected = expected_absorption_steps(dim, target)
+    sem = samples.std() / np.sqrt(samples.size)
+    report = format_table(
+        ["quantity", "value"],
+        [
+            ["analytic E[steps]", expected],
+            ["Monte-Carlo mean", float(samples.mean())],
+            ["standard error", float(sem)],
+        ],
+        title=f"Figure 4 — Monte-Carlo cross-check (d={dim}, target={target} bits)",
+        digits=2,
+    )
+    save_report("figure4_monte_carlo", report)
+    assert abs(samples.mean() - expected) < 5 * sem

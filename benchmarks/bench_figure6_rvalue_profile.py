@@ -1,0 +1,51 @@
+"""Figure 6: effect of the r-hyperparameter on circular-set similarity.
+
+Reproduces the three polar traces of the paper's Figure 6 — similarity of
+each member of a 10-element circular set to a reference member for
+``r ∈ {0, 0.5, 1}`` — and asserts the visual signatures: full gradient at
+``r = 0``, locally-preserved/globally-reduced correlation at ``r = 0.5``,
+flat 0.5 at ``r = 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once, save_report
+
+from repro.analysis import figure6_data, format_table
+
+SIZE = 10
+DIM = 10_000
+R_VALUES = (0.0, 0.5, 1.0)
+
+
+def test_figure6(benchmark):
+    data = run_once(
+        benchmark, lambda: figure6_data(r_values=R_VALUES, size=SIZE, dim=DIM, seed=2023)
+    )
+
+    rows = [
+        [f"r={r:g}"] + [float(v) for v in data[r]] for r in R_VALUES
+    ]
+    report = format_table(
+        ["profile"] + [f"node {i}" for i in range(SIZE)],
+        rows,
+        title=f"Figure 6 — similarity to the reference node (size={SIZE}, d={DIM})",
+        digits=3,
+    )
+    save_report("figure6_rvalue_profile", report)
+
+    flat = data[1.0][1:]
+    graded = data[0.0]
+    middle = data[0.5]
+
+    # r = 1: flat at chance level away from the reference itself.
+    assert np.abs(flat - 0.5).max() < 0.05
+    # r = 0: smooth gradient from 1 down to 0.5 at the antipode and back.
+    assert graded[0] == 1.0
+    first_half = graded[: SIZE // 2 + 1]
+    assert all(b < a for a, b in zip(first_half, first_half[1:]))
+    assert abs(graded[SIZE // 2] - 0.5) < 0.05
+    # r = 0.5: neighbours keep above-chance correlation, but less than r=0.
+    assert 0.5 + 0.05 < middle[1] < graded[1]
+    assert middle[-1] > 0.5 + 0.05

@@ -1,0 +1,59 @@
+"""Figure 8: normalized error versus the r-hyperparameter.
+
+Sweeps r over all five datasets (two regression + three classification)
+with the random-basis result as the normalization reference, exactly as
+Section 6.3 describes.  Checks the figure's qualitative content:
+
+* for every dataset some r < 1 performs better than the random reference
+  (normalized error < 1),
+* at r = 1 the curves return to ≈ 1 (a circular set with r = 1 *is* a
+  random set, up to sampling noise),
+* the best normalized error over the sweep beats the r = 1 endpoint.
+
+Runs at d = 4096 to keep the 35-run sweep tractable; the orderings are
+dimension-stable (see bench_ablation_dimension.py).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_report
+
+from repro.analysis import format_table
+from repro.experiments import (
+    ClassificationConfig,
+    RegressionConfig,
+    SWEEP_DATASETS,
+    run_rsweep,
+)
+
+R_VALUES = (0.0, 0.01, 0.05, 0.1, 0.3, 1.0)
+C_CONFIG = ClassificationConfig(dim=4096, seed=2023)
+R_CONFIG = RegressionConfig(dim=4096, seed=2023)
+
+
+def test_figure8(benchmark):
+    sweep = run_once(
+        benchmark,
+        lambda: run_rsweep(
+            r_values=R_VALUES,
+            classification_config=C_CONFIG,
+            regression_config=R_CONFIG,
+        ),
+    )
+
+    rows = [
+        [dataset.replace("_", " ").title()] + list(sweep.normalized_error[dataset])
+        for dataset in SWEEP_DATASETS
+    ]
+    report = format_table(
+        ["Dataset"] + [f"r={r:g}" for r in sweep.r_values],
+        rows,
+        title=f"Figure 8 — normalized error vs r (reference: random basis, d={C_CONFIG.dim})",
+    )
+    save_report("figure8_rsweep", report)
+
+    for dataset in SWEEP_DATASETS:
+        series = sweep.normalized_error[dataset]
+        assert min(series[:-1]) < 1.0, dataset
+        assert abs(series[-1] - 1.0) < 0.5, dataset
+        assert min(series) < series[-1], dataset

@@ -1,0 +1,82 @@
+"""Table 1: surgical-gesture classification accuracy per basis set.
+
+Runs the full-scale experiment (d = 10,000, the paper's dimensionality)
+on the three JIGSAWS-like tasks and checks the paper's qualitative claims:
+
+* circular-hypervectors win every task by a material margin,
+* suturing is the hardest task for every basis,
+* the per-basis runtimes are nearly equivalent (the paper's Section 6.1
+  remark: generating the basis set is negligible next to training).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import PAPER_TABLE1, run_once, save_report
+
+from repro.analysis import format_table
+from repro.experiments import (
+    BASIS_KINDS,
+    ClassificationConfig,
+    run_classification,
+    run_table1,
+)
+from repro.datasets import make_jigsaws_like
+
+CONFIG = ClassificationConfig(dim=10_000, seed=2023)
+
+
+def test_table1(benchmark):
+    results = run_once(benchmark, lambda: run_table1(CONFIG))
+
+    rows = []
+    for task in results:
+        measured = results[task]
+        paper = PAPER_TABLE1[task]
+        rows.append(
+            [
+                task.replace("_", " ").title(),
+                f"{paper['random']:.1f} / {100 * measured['random']:.1f}",
+                f"{paper['level']:.1f} / {100 * measured['level']:.1f}",
+                f"{paper['circular']:.1f} / {100 * measured['circular']:.1f}",
+            ]
+        )
+    report = format_table(
+        ["Dataset", "Random (paper/ours)", "Level (paper/ours)", "Circular (paper/ours)"],
+        rows,
+        title=f"Table 1 — classification accuracy %  (d={CONFIG.dim}, r=0.1, seed={CONFIG.seed})",
+    )
+    save_report("table1_classification", report)
+
+    for task, row in results.items():
+        assert row["circular"] > row["random"], task
+        assert row["circular"] > row["level"], task
+    gains = [row["circular"] - row["random"] for row in results.values()]
+    assert sum(gains) / len(gains) > 0.05  # paper: +7.2% average
+    for kind in BASIS_KINDS:
+        assert results["suturing"][kind] < results["knot_tying"][kind]
+
+
+def test_runtime_parity_between_basis_sets(benchmark):
+    """Section 6.1: runtime is nearly equivalent across basis sets."""
+    split = make_jigsaws_like(task="knot_tying", seed=0)
+
+    def run_all_kinds():
+        timings = {}
+        for kind in BASIS_KINDS:
+            start = time.perf_counter()
+            run_classification("knot_tying", kind, config=CONFIG, split=split)
+            timings[kind] = time.perf_counter() - start
+        return timings
+
+    timings = run_once(benchmark, run_all_kinds)
+    report = format_table(
+        ["Basis", "seconds"],
+        [[kind, timings[kind]] for kind in BASIS_KINDS],
+        title="Table 1 runtime parity (one task, full pipeline)",
+    )
+    save_report("table1_runtime_parity", report)
+    slowest = max(timings.values())
+    fastest = min(timings.values())
+    assert slowest < 3.0 * fastest  # same order of magnitude

@@ -1,0 +1,150 @@
+"""Basis-hypervector playground: geometry, entropy and scatter codes.
+
+A tour of the analysis layer around the paper's Section 4:
+
+1. expected-vs-empirical distances for every construction (the
+   propositions, checked live),
+2. the information-content ordering of Section 4.1 — closed forms and an
+   empirical column-pattern entropy estimate,
+3. the Markov absorption-time solver behind scatter codes, with the
+   tridiagonal / ladder / Monte-Carlo triple check,
+4. threshold profiles: nonlinear level sets (library extension).
+
+Run:  python examples/basis_playground.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.basis import (
+    CircularBasis,
+    LegacyLevelBasis,
+    LevelBasis,
+    RandomBasis,
+    ScatterBasis,
+)
+from repro.info import (
+    empirical_column_entropy,
+    interpolated_level_set_entropy,
+    legacy_level_set_entropy,
+    random_set_entropy,
+)
+from repro.markov import (
+    BirthDeathChain,
+    expected_absorption_steps,
+    expected_flips_ladder,
+)
+
+DIM = 20_000
+SIZE = 9
+SEED = 2023
+
+
+def demo_expected_distances() -> None:
+    print("=" * 70)
+    print("1. Expected vs empirical pairwise distances (d = %d)" % DIM)
+    print("=" * 70)
+    constructions = {
+        "random": RandomBasis(SIZE, DIM, seed=SEED),
+        "legacy level": LegacyLevelBasis(SIZE, DIM, seed=SEED),
+        "level (Algorithm 1)": LevelBasis(SIZE, DIM, seed=SEED),
+        "circular": CircularBasis(SIZE, DIM, seed=SEED),
+        "scatter": ScatterBasis(SIZE, DIM, seed=SEED),
+    }
+    rows = []
+    for name, basis in constructions.items():
+        err = np.abs(basis.distance_matrix() - basis.expected_distance_matrix())
+        rows.append([name, float(err.max()), float(err.mean())])
+    print(
+        format_table(
+            ["construction", "max |emp − exp|", "mean |emp − exp|"],
+            rows,
+            digits=4,
+        )
+    )
+    tol = 5 * 0.5 / np.sqrt(DIM)
+    print(f"(5σ binomial tolerance at this dimension: {tol:.4f})\n")
+
+
+def demo_information_content() -> None:
+    print("=" * 70)
+    print("2. Information content of the generation processes (Section 4.1)")
+    print("=" * 70)
+    m, d = SIZE, DIM
+    rows = [
+        ["legacy level", legacy_level_set_entropy(m, d) / d],
+        ["level (Algorithm 1)", interpolated_level_set_entropy(m, d) / d],
+        ["random", random_set_entropy(m, d) / d],
+    ]
+    print(format_table(["construction", "bits per dimension"], rows, digits=4))
+
+    print("\nEmpirical column-pattern entropy of freshly generated sets:")
+    rows = []
+    for name, basis in (
+        ("legacy level", LegacyLevelBasis(m, d, seed=SEED)),
+        ("level", LevelBasis(m, d, seed=SEED)),
+        ("random", RandomBasis(m, d, seed=SEED)),
+    ):
+        rows.append([name, empirical_column_entropy(basis.vectors)])
+    print(format_table(["construction", "bits/dimension (plug-in)"], rows, digits=3))
+    print(
+        "\nNote: legacy and Algorithm-1 sets share the same *marginal* column\n"
+        "distribution — their entropy gap is in the joint (exact flip counts)\n"
+        "and is logarithmic-order; the gap to random sets is Θ(m·d).\n"
+    )
+
+
+def demo_absorption() -> None:
+    print("=" * 70)
+    print("3. The bit-flip Markov chain (Section 4.2)")
+    print("=" * 70)
+    dim, target = 256, 100
+    tri = expected_absorption_steps(dim, target)
+    ladder = expected_flips_ladder(dim, target)
+    chain = BirthDeathChain.bit_flip_chain(dim, target)
+    samples = chain.simulate_absorption(trials=2000, seed=SEED)
+    rows = [
+        ["tridiagonal solve (Thomas)", tri],
+        ["ladder closed form", ladder],
+        ["Monte-Carlo mean (2000 walks)", float(samples.mean())],
+    ]
+    print(
+        format_table(
+            ["method", f"E[flips] to reach {target} bits (d={dim})"],
+            rows,
+            digits=2,
+        )
+    )
+    print()
+
+
+def demo_profiles() -> None:
+    print("=" * 70)
+    print("4. Threshold profiles: nonlinear level sets (extension)")
+    print("=" * 70)
+    rows = []
+    for profile in ("linear", "quadratic", "sqrt", "cosine"):
+        basis = LevelBasis(SIZE, DIM, profile=profile, seed=SEED)
+        distances = [basis.distance(0, j) for j in range(SIZE)]
+        rows.append([profile] + distances)
+    print(
+        format_table(
+            ["profile"] + [f"δ(L1,L{j + 1})" for j in range(SIZE)],
+            rows,
+            title="Distance from L1 under different threshold warps:",
+            digits=3,
+        )
+    )
+
+
+def main() -> None:
+    demo_expected_distances()
+    demo_information_content()
+    demo_absorption()
+    demo_profiles()
+
+
+if __name__ == "__main__":
+    main()

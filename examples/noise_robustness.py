@@ -1,0 +1,82 @@
+"""Holographic robustness: gesture classification under bit corruption.
+
+The paper's introduction motivates HDC with the i.i.d. ("holographic")
+representation's inherent robustness — every bit carries the same amount
+of information, so no single bit is critical.  This example trains the
+Table 1 circular-basis gesture classifier and then corrupts an increasing
+fraction of bits in (a) the query encodings and (b) the stored
+class-vectors, printing the accuracy degradation curves.
+
+Run:  python examples/noise_robustness.py [--dim 4096]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro._rng import ensure_rng
+from repro.analysis import format_table
+from repro.analysis.robustness import classifier_robustness_curve
+from repro.datasets import make_jigsaws_like
+from repro.experiments import ClassificationConfig
+from repro.experiments.classification import _value_embedding, encode_angular_records
+from repro.hdc import random_hypervectors
+from repro.learning import CentroidClassifier
+
+FRACTIONS = (0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dim", type=int, default=4096)
+    parser.add_argument("--seed", type=int, default=2023)
+    args = parser.parse_args()
+
+    config = ClassificationConfig(dim=args.dim, seed=args.seed)
+    split = make_jigsaws_like(task="knot_tying", seed=args.seed)
+
+    master = ensure_rng(config.seed)
+    _, basis_rng, key_rng, tie_rng = master.spawn(4)
+    low, high = split.metadata["feature_range"]
+    embedding = _value_embedding("circular", config, basis_rng, low=low, high=high)
+    keys = random_hypervectors(split.num_channels, config.dim, seed=key_rng)
+    train = encode_angular_records(split.train_features, keys, embedding, seed=tie_rng)
+    test = encode_angular_records(split.test_features, keys, embedding, seed=tie_rng)
+
+    clf = CentroidClassifier(config.dim, seed=tie_rng)
+    clf.fit(train, split.train_labels.tolist())
+    clean = clf.score(test, split.test_labels.tolist())
+    print(f"Clean test accuracy (circular basis, d={config.dim}): {100 * clean:.1f}%\n")
+
+    query_curve = classifier_robustness_curve(
+        clf, test, split.test_labels.tolist(), fractions=FRACTIONS, seed=1
+    )
+    model_curve = classifier_robustness_curve(
+        clf,
+        test,
+        split.test_labels.tolist(),
+        fractions=FRACTIONS,
+        target="model",
+        seed=2,
+    )
+    rows = [
+        [f"{100 * f:.0f}%", 100 * query_curve[f], 100 * model_curve[f]]
+        for f in FRACTIONS
+    ]
+    print(
+        format_table(
+            ["bits corrupted", "query-noise accuracy %", "model-noise accuracy %"],
+            rows,
+            title="Accuracy under bit corruption (chance = 6.7%)",
+            digits=1,
+        )
+    )
+    print(
+        "\nGraceful degradation: accuracy stays near clean levels for "
+        "corruptions of a few percent\nand approaches chance only toward "
+        "50% — the holographic-representation property."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Analysis and reporting: the data behind the paper's figures."""
+
+from .reporting import format_float, format_table, render_heatmap
+from .robustness import classifier_robustness_curve, flip_bits
+from .similarity import (
+    basis_similarity_matrix,
+    figure3_data,
+    figure6_data,
+    reference_similarity_profile,
+)
+
+__all__ = [
+    "basis_similarity_matrix",
+    "figure3_data",
+    "figure6_data",
+    "reference_similarity_profile",
+    "format_table",
+    "format_float",
+    "render_heatmap",
+    "flip_bits",
+    "classifier_robustness_curve",
+]

@@ -1,0 +1,91 @@
+"""Plain-text rendering of tables and heatmaps.
+
+The benchmark harness prints the same rows the paper's tables report and
+ASCII renderings of its heatmap figures; everything here is side-effect
+free (returns strings) so the tests can assert on the output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["format_table", "render_heatmap", "format_float"]
+
+#: Shade ramp used by the ASCII heatmap, light → dark.
+_SHADES = " .:-=+*#%@"
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly (fixed digits, no trailing noise)."""
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    digits: int = 3,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted with ``digits`` decimals; everything else via
+    ``str``.  Column widths adapt to the longest cell.
+    """
+    headers = [str(h) for h in headers]
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(format_float(cell, digits))
+            else:
+                cells.append(str(cell))
+        if len(cells) != len(headers):
+            raise InvalidParameterError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        rendered_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(cells) for cells in rendered_rows)
+    return "\n".join(parts)
+
+
+def render_heatmap(
+    matrix: np.ndarray,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a matrix as an ASCII shade heatmap (dark = high).
+
+    Used by the examples to show Figure 3's similarity structure in a
+    terminal.  Values are clipped to ``[vmin, vmax]`` (defaulting to the
+    matrix range) and mapped onto a 10-step shade ramp.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise InvalidParameterError(f"expected a 2-D matrix, got shape {arr.shape}")
+    lo = float(arr.min()) if vmin is None else float(vmin)
+    hi = float(arr.max()) if vmax is None else float(vmax)
+    if hi <= lo:
+        hi = lo + 1.0
+    normalized = np.clip((arr - lo) / (hi - lo), 0.0, 1.0)
+    indices = np.minimum((normalized * len(_SHADES)).astype(int), len(_SHADES) - 1)
+    lines = ["".join(_SHADES[i] * 2 for i in row) for row in indices]
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Interpolation-based level-hypervectors — Algorithm 1 of the paper.
+
+The paper's first contribution: instead of flipping a fixed quota of bits
+per level (the legacy method, :mod:`repro.basis.level_legacy`), draw two
+uniform anchors ``L_1`` and ``L_m`` plus a per-dimension filter
+``Φ ~ U[0, 1]^d``, and build every intermediate level by taking bit ``∂``
+from ``L_1`` when ``Φ(∂) < τ_l`` (with ``τ_l = (m − l)/(m − 1)``) and from
+``L_m`` otherwise.
+
+Proposition 4.1: the pairwise distances then hold *in expectation*,
+``E[δ(L_i, L_j)] = Δ_{i,j} = (j − i) / (2 (m − 1))``, which enlarges the
+sample space of the generation process and therefore its Shannon
+information content (Section 4.1) relative to the deterministic-distance
+legacy sets.
+
+Setting ``r > 0`` generalises the construction per Section 5.2 (the chain
+becomes a concatenation of shorter sub-sets; ``r = 1`` degenerates to a
+random basis).  A custom *profile* (this library's extension) warps the
+threshold schedule to realise any monotone expected-distance curve, which
+subsumes nonlinear scalar encodings such as scatter codes but with the
+interpolation method's information-content benefits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Union
+
+import numpy as np
+
+from .._rng import SeedLike, ensure_rng
+from ..exceptions import InvalidParameterError
+from ..hdc.hypervector import BIT_DTYPE
+from .base import BasisSet
+from .rvalue import chain_flip_probability, interpolated_chain, transitions_per_subset
+
+__all__ = ["LevelBasis", "PROFILES"]
+
+ProfileLike = Union[str, Callable[[np.ndarray], np.ndarray]]
+
+#: Named threshold-warp profiles: monotone maps of [0, 1] onto [0, 1].
+PROFILES: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "linear": lambda u: u,
+    "quadratic": lambda u: u**2,
+    "sqrt": np.sqrt,
+    "cosine": lambda u: (1.0 - np.cos(np.pi * u)) / 2.0,
+}
+
+
+def _resolve_profile(profile: ProfileLike) -> Callable[[np.ndarray], np.ndarray]:
+    if callable(profile):
+        return profile
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)} or pass a callable"
+        ) from None
+
+
+class LevelBasis(BasisSet):
+    """Linearly correlated basis-hypervectors via interpolation filters.
+
+    Parameters
+    ----------
+    size:
+        Number of levels ``m ≥ 2``.
+    dim:
+        Hyperspace dimensionality ``d``.
+    r:
+        Section 5.2 interpolation hyperparameter in ``[0, 1]``:
+        ``0`` = pure Algorithm 1, ``1`` = random basis.  Only the default
+        linear profile supports ``r > 0``.
+    profile:
+        Name in :data:`PROFILES` or a monotone callable ``g`` mapping
+        ``[0, 1] → [0, 1]``; the expected distances become
+        ``|g(u_j) − g(u_i)| / 2`` with ``u_l = (l − 1)/(m − 1)``.
+        Extension beyond the paper (the paper's Algorithm 1 is the
+        ``"linear"`` profile).
+    seed:
+        Randomness source.
+
+    Example
+    -------
+    >>> basis = LevelBasis(size=100, dim=10_000, seed=3)
+    >>> emb = basis.linear_embedding(-10.0, 40.0)   # e.g. temperatures
+    >>> hv = emb.encode(21.7)
+    """
+
+    def __init__(
+        self,
+        size: int,
+        dim: int,
+        r: float = 0.0,
+        profile: ProfileLike = "linear",
+        seed: SeedLike = None,
+    ) -> None:
+        if size < 2:
+            raise InvalidParameterError(f"a level set needs at least 2 levels, got {size}")
+        if dim < 1:
+            raise InvalidParameterError(f"dimension must be positive, got {dim}")
+        self.r = float(r)
+        if not (0.0 <= self.r <= 1.0) or not math.isfinite(self.r):
+            raise InvalidParameterError(f"r must lie in [0, 1], got {r}")
+
+        is_linear = (not callable(profile)) and profile == "linear"
+        if not is_linear and self.r != 0.0:
+            raise InvalidParameterError(
+                "custom profiles are only supported with r = 0 "
+                "(the r-interpolation already reshapes the schedule)"
+            )
+        self._profile_name = profile if not callable(profile) else "<callable>"
+
+        if is_linear:
+            self._positions = None
+            vectors = interpolated_chain(size, dim, r=self.r, seed=seed)
+        else:
+            g = _resolve_profile(profile)
+            u = np.linspace(0.0, 1.0, size)
+            positions = np.asarray(g(u), dtype=np.float64)
+            self._validate_positions(positions)
+            vectors = self._generate_profiled(positions, dim, seed)
+            self._positions = positions
+        super().__init__(vectors)
+
+    @staticmethod
+    def _validate_positions(positions: np.ndarray) -> None:
+        if positions.ndim != 1:
+            raise InvalidParameterError("profile must map a vector to a vector")
+        if not np.isfinite(positions).all():
+            raise InvalidParameterError("profile produced non-finite positions")
+        if abs(positions[0]) > 1e-9 or abs(positions[-1] - 1.0) > 1e-9:
+            raise InvalidParameterError(
+                "profile must satisfy g(0) = 0 and g(1) = 1, got "
+                f"g(0)={positions[0]}, g(1)={positions[-1]}"
+            )
+        if np.any(np.diff(positions) < -1e-12):
+            raise InvalidParameterError("profile must be monotone non-decreasing")
+
+    @staticmethod
+    def _generate_profiled(
+        positions: np.ndarray, dim: int, seed: SeedLike
+    ) -> np.ndarray:
+        """Algorithm 1 with thresholds ``τ_l = 1 − g(u_l)``."""
+        rng = ensure_rng(seed)
+        first = rng.integers(0, 2, size=dim, dtype=BIT_DTYPE)
+        last = rng.integers(0, 2, size=dim, dtype=BIT_DTYPE)
+        phi = rng.random(dim)
+        vectors = np.empty((positions.size, dim), dtype=BIT_DTYPE)
+        for l, pos in enumerate(positions):
+            tau = 1.0 - pos
+            vectors[l] = np.where(phi < tau, first, last)
+        return vectors
+
+    @property
+    def profile_name(self) -> str:
+        """The profile used to shape the threshold schedule."""
+        return self._profile_name
+
+    @property
+    def transitions_per_subset(self) -> float:
+        """Sub-set width ``n = r + (1 − r)(m − 1)`` (Section 5.2)."""
+        return transitions_per_subset(len(self), self.r)
+
+    def expected_distance(self, i: int, j: int) -> float:
+        """Theoretical ``E[δ(L_i, L_j)]``.
+
+        * linear profile: the segmented-chain probability, which reduces to
+          the paper's ``Δ_{i,j} = (j − i)/(2(m − 1))`` when ``r = 0``;
+        * custom profile: ``|g(u_j) − g(u_i)| / 2``.
+        """
+        m = len(self)
+        if not (-m <= i < m and -m <= j < m):
+            raise IndexError(f"index out of range for a basis of size {m}")
+        i %= m
+        j %= m
+        if self._positions is not None:
+            return float(abs(self._positions[j] - self._positions[i]) / 2.0)
+        n = self.transitions_per_subset
+        return chain_flip_probability(float(i), float(j), n, float(m - 1))

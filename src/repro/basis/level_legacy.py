@@ -1,0 +1,90 @@
+"""The pre-existing level-hypervector construction (Section 4, background).
+
+This is the method of Rahimi et al. [34] and Widdows & Cohen [42] that the
+paper improves upon: start from a uniform random ``L_1`` and obtain each
+subsequent level by flipping a fixed quota of bits, never unflipping any,
+so that ``L_1`` and ``L_m`` end up *exactly* orthogonal (``d/2`` differing
+bits).
+
+Because every pairwise distance is (up to integer rounding) deterministic,
+the construction has far fewer possible outcomes than the interpolation
+method of Algorithm 1 — the information-content argument of Section 4.1 —
+and it is the "Level" baseline whose replacement the paper motivates.
+
+Implementation note: we allocate exactly ``⌊d/2⌋`` flip positions up front
+(a uniform random subset), split them into ``m − 1`` nearly equal
+consecutive blocks, and flip block ``i`` to move from ``L_i`` to
+``L_{i+1}``.  This realises the textbook construction with exact endpoint
+orthogonality; the per-step quota differs from ``d/2/(m−1)`` by at most
+one bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import SeedLike, ensure_rng
+from ..exceptions import InvalidParameterError
+from ..hdc.hypervector import BIT_DTYPE
+from .base import BasisSet
+
+__all__ = ["LegacyLevelBasis"]
+
+
+class LegacyLevelBasis(BasisSet):
+    """Sequential-flip level-hypervectors with deterministic distances.
+
+    Parameters
+    ----------
+    size:
+        Number of levels ``m ≥ 2``.
+    dim:
+        Hyperspace dimensionality ``d ≥ 2`` (needs at least one flip bit).
+    seed:
+        Randomness source.
+
+    The realized distance between levels ``i`` and ``j`` is exactly
+    ``(c_j − c_i) / d`` where ``c_k`` is the cumulative number of flipped
+    bits up to level ``k`` — a fixed quantity given ``m`` and ``d``,
+    independent of the random draw.  :meth:`expected_distance` returns this
+    exact value (it is also the *realized* value, which is the point of
+    the paper's critique).
+    """
+
+    def __init__(self, size: int, dim: int, seed: SeedLike = None) -> None:
+        if size < 2:
+            raise InvalidParameterError(f"a level set needs at least 2 levels, got {size}")
+        if dim < 2:
+            raise InvalidParameterError(f"dimension must be at least 2, got {dim}")
+        rng = ensure_rng(seed)
+
+        first = rng.integers(0, 2, size=dim, dtype=BIT_DTYPE)
+        flip_positions = rng.permutation(dim)[: dim // 2]
+        blocks = np.array_split(flip_positions, size - 1)
+
+        vectors = np.empty((size, dim), dtype=BIT_DTYPE)
+        vectors[0] = first
+        current = first.copy()
+        cumulative = [0]
+        for level, block in enumerate(blocks, start=1):
+            current[block] ^= 1
+            vectors[level] = current
+            cumulative.append(cumulative[-1] + block.size)
+        self._cumulative_flips = np.asarray(cumulative, dtype=np.int64)
+        super().__init__(vectors)
+
+    @property
+    def cumulative_flips(self) -> np.ndarray:
+        """``c_k``: number of bits flipped between ``L_1`` and ``L_{k+1}``."""
+        return self._cumulative_flips
+
+    def expected_distance(self, i: int, j: int) -> float:
+        """Exact (deterministic) distance ``(c_j − c_i)/d`` for ``i ≤ j``."""
+        m = len(self)
+        if not (-m <= i < m and -m <= j < m):
+            raise IndexError(f"index out of range for a basis of size {m}")
+        i %= m
+        j %= m
+        lo, hi = sorted((i, j))
+        flips = self._cumulative_flips[hi] - self._cumulative_flips[lo]
+        return float(flips) / self.dim

@@ -1,0 +1,50 @@
+"""Random-hypervector basis sets (Section 3.1).
+
+Each member is sampled uniformly and independently from ``{0, 1}^d``, so
+every pair is quasi-orthogonal with overwhelming probability: the pairwise
+normalized Hamming distance is ``Binomial(d, 1/2) / d``, concentrating
+around ``1/2`` with standard deviation ``1 / (2 √d)``.
+
+Random sets carry the largest possible information content (the sample
+space is all of ``H^m``) but map *no* correlation structure from the input
+space to the hyperspace — the right choice for symbols and categorical
+data, and the baseline every experiment in the paper compares against.
+"""
+
+from __future__ import annotations
+
+from .._rng import SeedLike
+from ..hdc.hypervector import random_hypervectors
+from .base import BasisSet
+
+__all__ = ["RandomBasis"]
+
+
+class RandomBasis(BasisSet):
+    """A basis set of ``size`` uniform i.i.d. hypervectors.
+
+    Parameters
+    ----------
+    size:
+        Number of members ``m ≥ 1``.
+    dim:
+        Hyperspace dimensionality ``d``.
+    seed:
+        Randomness source (``None``, int, or a ``numpy.random.Generator``).
+
+    Example
+    -------
+    >>> basis = RandomBasis(size=26, dim=10_000, seed=7)   # one per letter
+    >>> round(basis.distance(0, 1), 1)
+    0.5
+    """
+
+    def __init__(self, size: int, dim: int, seed: SeedLike = None) -> None:
+        super().__init__(random_hypervectors(size, dim, seed))
+
+    def expected_distance(self, i: int, j: int) -> float:
+        """``0`` on the diagonal, ``1/2`` everywhere else (quasi-orthogonal)."""
+        m = len(self)
+        if not (-m <= i < m and -m <= j < m):
+            raise IndexError(f"index out of range for a basis of size {m}")
+        return 0.0 if i % m == j % m else 0.5

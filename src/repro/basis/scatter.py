@@ -1,0 +1,138 @@
+"""Scatter codes: the random-walk scalar encoding of Section 4.2.
+
+Before proposing Algorithm 1, the paper discusses an "intuitive idea":
+start from a random ``L_1`` and create each level ``L_j`` by performing a
+number of uniformly random single-bit flips ``𭟋_{1,j}`` chosen so the
+walk relates to the target distance ``Δ_{1,j}`` — the *scatter codes* of
+Smith & Stanford [37].  Because flips may revisit positions, the resulting
+input-to-similarity mapping is nonlinear, which is why the paper moves on
+to the interpolation method for a linear mapping.
+
+Two flip-count rules are provided (see
+:mod:`repro.markov.absorption` for the distinction):
+
+* ``"absorption"`` (the paper's description) — ``𭟋`` is the expected
+  number of flips until the walk *first reaches* distance ``Δ·d``,
+  obtained from the tridiagonal system;
+* ``"exact"`` — the flip count whose *expected resulting distance* equals
+  ``Δ`` exactly: ``F = ln(1 − 2Δ) / ln(1 − 2/d)``.
+
+With ``"exact"`` the anchored distances ``E[δ(L_1, L_j)] = Δ_{1,j}`` hold
+exactly; with ``"absorption"`` they hold approximately (overshooting
+slightly because the walk's stopping rule and the expectation differ).
+Non-anchored pairs combine nonlinearly in both modes:
+``E[δ(L_i, L_j)] = q_i + q_j − 2 q_i q_j`` where ``q_k`` is the per-bit
+flip probability of member ``k`` — the scatter nonlinearity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import SeedLike, ensure_rng
+from ..exceptions import InvalidParameterError
+from ..hdc.hypervector import BIT_DTYPE
+from ..markov.absorption import expected_absorption_steps, flips_for_expected_distance
+from .base import BasisSet
+from .rvalue import xor_combine
+
+__all__ = ["ScatterBasis"]
+
+_FLIP_MODES = ("exact", "absorption")
+
+
+class ScatterBasis(BasisSet):
+    """Random-walk (scatter-code) level hypervectors.
+
+    Parameters
+    ----------
+    size:
+        Number of levels ``m ≥ 2``.
+    dim:
+        Hyperspace dimensionality ``d ≥ 2``.
+    flips:
+        ``"exact"`` (default) or ``"absorption"``; see the module
+        docstring.
+    seed:
+        Randomness source.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        dim: int,
+        flips: str = "exact",
+        seed: SeedLike = None,
+    ) -> None:
+        if size < 2:
+            raise InvalidParameterError(f"a scatter set needs at least 2 levels, got {size}")
+        if dim < 2:
+            raise InvalidParameterError(f"dimension must be at least 2, got {dim}")
+        if flips not in _FLIP_MODES:
+            raise InvalidParameterError(
+                f"flips must be one of {_FLIP_MODES}, got {flips!r}"
+            )
+        self.flip_mode = flips
+        rng = ensure_rng(seed)
+
+        anchor = rng.integers(0, 2, size=dim, dtype=BIT_DTYPE)
+        vectors = np.empty((size, dim), dtype=BIT_DTYPE)
+        vectors[0] = anchor
+        flip_counts = np.zeros(size, dtype=np.int64)
+        for j in range(1, size):
+            delta = j / (2.0 * (size - 1))  # Δ_{1, j+1} of the paper
+            flip_counts[j] = self._flip_count(dim, delta)
+            vectors[j] = self._walk(anchor, flip_counts[j], rng)
+        self._flip_counts = flip_counts
+        super().__init__(vectors)
+
+    def _flip_count(self, dim: int, delta: float) -> int:
+        if self.flip_mode == "absorption":
+            target_bits = max(1, int(round(delta * dim)))
+            return int(round(expected_absorption_steps(dim, target_bits)))
+        # "exact": match the expected distance; Δ = 1/2 needs infinitely many
+        # flips, so the final level uses enough flips to be fully mixed
+        # (per-bit flip probability within 1e-9 of 1/2).
+        if delta >= 0.5 - 1e-12:
+            mixing = np.log(2e-9) / np.log1p(-2.0 / dim)
+            return int(np.ceil(mixing))
+        return int(round(flips_for_expected_distance(dim, delta)))
+
+    @staticmethod
+    def _walk(anchor: np.ndarray, steps: int, rng: np.random.Generator) -> np.ndarray:
+        """Apply ``steps`` uniformly random single-bit flips to a copy.
+
+        Sequential flips commute, so the final state only depends on the
+        per-position flip parity — computed in one vectorised pass.
+        """
+        if steps == 0:
+            return anchor.copy()
+        positions = rng.integers(0, anchor.size, size=int(steps))
+        parity = (np.bincount(positions, minlength=anchor.size) & 1).astype(BIT_DTYPE)
+        return np.bitwise_xor(anchor, parity)
+
+    @property
+    def flip_counts(self) -> np.ndarray:
+        """Number of random flips used to create each member (member 0: 0)."""
+        return self._flip_counts
+
+    def per_bit_flip_probability(self, index: int) -> float:
+        """``q_k``: probability a given bit of member ``k`` differs from ``L_1``."""
+        m = len(self)
+        if not (-m <= index < m):
+            raise IndexError(f"index out of range for a basis of size {m}")
+        steps = int(self._flip_counts[index % m])
+        return float((1.0 - (1.0 - 2.0 / self.dim) ** steps) / 2.0)
+
+    def expected_distance(self, i: int, j: int) -> float:
+        """``E[δ]`` from the independent-walk combination rule."""
+        m = len(self)
+        if not (-m <= i < m and -m <= j < m):
+            raise IndexError(f"index out of range for a basis of size {m}")
+        i %= m
+        j %= m
+        if i == j:
+            return 0.0
+        return xor_combine(
+            self.per_bit_flip_probability(i), self.per_bit_flip_probability(j)
+        )

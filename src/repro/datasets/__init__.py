@@ -1,0 +1,32 @@
+"""Synthetic workload generators substituting for the paper's datasets.
+
+The paper evaluates on JIGSAWS (restricted access), UCI Beijing air
+quality and ESA Mars Express power (no network in this environment); each
+generator here reproduces the *structure* those experiments probe — see
+DESIGN.md §3 for the substitution rationale.
+"""
+
+from .base import (
+    ClassificationSplit,
+    RegressionSplit,
+    chronological_split,
+    random_split,
+)
+from .beijing import DAYS_PER_YEAR, make_beijing_like
+from .jigsaws import JIGSAWS_TASKS, SURGEONS, TaskSpec, make_jigsaws_like
+from .mars_express import make_mars_express_like, mars_power_curve
+
+__all__ = [
+    "ClassificationSplit",
+    "RegressionSplit",
+    "chronological_split",
+    "random_split",
+    "make_jigsaws_like",
+    "JIGSAWS_TASKS",
+    "SURGEONS",
+    "TaskSpec",
+    "make_beijing_like",
+    "DAYS_PER_YEAR",
+    "make_mars_express_like",
+    "mars_power_curve",
+]

@@ -1,0 +1,132 @@
+"""Dataset containers and split utilities shared by the generators.
+
+The paper's three workloads use two protocols: a *leave-surgeons-out*
+split for JIGSAWS classification, a *chronological* 70/30 split for
+Beijing, and a *random* 70/30 split for Mars Express.  The containers
+here are plain frozen dataclasses — arrays in, arrays out — with a
+``metadata`` dictionary recording every generator parameter so an
+experiment's provenance is always attached to its data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .._rng import SeedLike, ensure_rng
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "ClassificationSplit",
+    "RegressionSplit",
+    "chronological_split",
+    "random_split",
+]
+
+
+@dataclass(frozen=True)
+class ClassificationSplit:
+    """A train/test classification dataset.
+
+    ``*_features`` have shape ``(n, k)`` (``k`` channels), ``*_labels``
+    shape ``(n,)`` with integer class ids.
+    """
+
+    train_features: np.ndarray
+    train_labels: np.ndarray
+    test_features: np.ndarray
+    test_labels: np.ndarray
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, feats, labels in (
+            ("train", self.train_features, self.train_labels),
+            ("test", self.test_features, self.test_labels),
+        ):
+            if feats.ndim != 2:
+                raise InvalidParameterError(f"{name} features must be (n, k)")
+            if labels.shape != (feats.shape[0],):
+                raise InvalidParameterError(
+                    f"{name} labels must match the sample count"
+                )
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels across both splits."""
+        return int(
+            np.unique(np.concatenate([self.train_labels, self.test_labels])).size
+        )
+
+    @property
+    def num_channels(self) -> int:
+        """Number of feature channels ``k``."""
+        return int(self.train_features.shape[1])
+
+
+@dataclass(frozen=True)
+class RegressionSplit:
+    """A train/test regression dataset.
+
+    ``*_features`` have shape ``(n, k)``; ``*_labels`` are real-valued
+    ``(n,)`` arrays.  ``metadata["feature_names"]`` documents the columns.
+    """
+
+    train_features: np.ndarray
+    train_labels: np.ndarray
+    test_features: np.ndarray
+    test_labels: np.ndarray
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, feats, labels in (
+            ("train", self.train_features, self.train_labels),
+            ("test", self.test_features, self.test_labels),
+        ):
+            if feats.ndim != 2:
+                raise InvalidParameterError(f"{name} features must be (n, k)")
+            if labels.shape != (feats.shape[0],):
+                raise InvalidParameterError(
+                    f"{name} labels must match the sample count"
+                )
+
+    @property
+    def label_range(self) -> tuple[float, float]:
+        """(min, max) of the *training* labels — the range label levels cover."""
+        return float(self.train_labels.min()), float(self.train_labels.max())
+
+
+def chronological_split(count: int, train_fraction: float = 0.7) -> tuple[np.ndarray, np.ndarray]:
+    """First ``train_fraction`` of indices for training, the rest for test.
+
+    The Beijing protocol (Section 6.2): "trained on the first 70% of the
+    data … predictions of the last 30%".
+    """
+    if count < 2:
+        raise InvalidParameterError(f"need at least 2 samples, got {count}")
+    if not 0.0 < train_fraction < 1.0:
+        raise InvalidParameterError(
+            f"train_fraction must lie in (0, 1), got {train_fraction}"
+        )
+    cut = int(round(count * train_fraction))
+    cut = min(max(cut, 1), count - 1)
+    indices = np.arange(count)
+    return indices[:cut], indices[cut:]
+
+
+def random_split(
+    count: int, train_fraction: float = 0.7, seed: SeedLike = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniformly random train/test partition (the Mars Express protocol)."""
+    if count < 2:
+        raise InvalidParameterError(f"need at least 2 samples, got {count}")
+    if not 0.0 < train_fraction < 1.0:
+        raise InvalidParameterError(
+            f"train_fraction must lie in (0, 1), got {train_fraction}"
+        )
+    rng = ensure_rng(seed)
+    permutation = rng.permutation(count)
+    cut = int(round(count * train_fraction))
+    cut = min(max(cut, 1), count - 1)
+    return np.sort(permutation[:cut]), np.sort(permutation[cut:])

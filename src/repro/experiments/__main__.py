@@ -1,0 +1,142 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.experiments table1 [--dim D] [--seed S]
+    python -m repro.experiments table2 [--dim D] [--seed S]
+    python -m repro.experiments figure3 [--size M] [--dim D]
+    python -m repro.experiments figure6 [--dim D]
+    python -m repro.experiments figure7 [--dim D]
+    python -m repro.experiments figure8 [--dim D] [--fast]
+
+``--fast`` shrinks dimensionality and sweep resolution for a quick look;
+defaults follow the paper (d = 10,000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from ..analysis import figure3_data, figure6_data, format_table, render_heatmap
+from ..learning.metrics import normalized_mse
+from .classification import run_table1
+from .config import ClassificationConfig, RegressionConfig
+from .regression import run_table2
+from .rsweep import run_rsweep
+
+__all__ = ["main"]
+
+
+def _print_table1(args: argparse.Namespace) -> None:
+    config = ClassificationConfig(dim=args.dim, seed=args.seed)
+    results = run_table1(config)
+    rows = [
+        [task.replace("_", " ").title()] + [f"{100 * results[task][k]:.1f}%" for k in ("random", "level", "circular")]
+        for task in results
+    ]
+    print(format_table(
+        ["Dataset", "Random", "Level", "Circular"],
+        rows,
+        title=f"Table 1: classification accuracy (d={args.dim}, r=0.1, seed={args.seed})",
+    ))
+
+
+def _print_table2(args: argparse.Namespace) -> None:
+    config = RegressionConfig(dim=args.dim, seed=args.seed)
+    results = run_table2(config)
+    rows = [
+        [ds.replace("_", " ").title()] + [results[ds][k] for k in ("random", "level", "circular")]
+        for ds in results
+    ]
+    print(format_table(
+        ["Dataset", "Random", "Level", "Circular"],
+        rows,
+        title=f"Table 2: regression MSE (d={args.dim}, r=0.01, seed={args.seed})",
+        digits=1,
+    ))
+
+
+def _print_figure3(args: argparse.Namespace) -> None:
+    data = figure3_data(size=args.size, dim=args.dim, seed=args.seed)
+    for kind, matrix in data.items():
+        print(f"\nFigure 3 — {kind} basis pairwise similarity "
+              f"(size={args.size}, d={args.dim}):")
+        print(render_heatmap(matrix, vmin=0.5, vmax=1.0))
+        print(np.array2string(matrix, precision=2, suppress_small=True))
+
+
+def _print_figure6(args: argparse.Namespace) -> None:
+    data = figure6_data(size=10, dim=args.dim, seed=args.seed)
+    rows = [[f"r={r}"] + [float(v) for v in profile] for r, profile in data.items()]
+    headers = ["profile"] + [f"node{i}" for i in range(10)]
+    print(format_table(headers, rows,
+                       title=f"Figure 6: similarity to reference node (d={args.dim})"))
+
+
+def _print_figure7(args: argparse.Namespace) -> None:
+    config = RegressionConfig(dim=args.dim, seed=args.seed)
+    results = run_table2(config)
+    rows = []
+    for ds in results:
+        reference = results[ds]["random"]
+        rows.append([ds.replace("_", " ").title()] + [
+            normalized_mse(results[ds][k], reference) for k in ("random", "level", "circular")
+        ])
+    print(format_table(
+        ["Dataset", "Random", "Level", "Circular"],
+        rows,
+        title=f"Figure 7: normalized regression MSE (d={args.dim}, seed={args.seed})",
+    ))
+
+
+def _print_figure8(args: argparse.Namespace) -> None:
+    if args.fast:
+        r_values = (0.0, 0.05, 0.2, 1.0)
+        c_config = ClassificationConfig(dim=min(args.dim, 4096), seed=args.seed)
+        r_config = RegressionConfig(dim=min(args.dim, 4096), seed=args.seed)
+    else:
+        r_values = (0.0, 0.01, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0)
+        c_config = ClassificationConfig(dim=args.dim, seed=args.seed)
+        r_config = RegressionConfig(dim=args.dim, seed=args.seed)
+    sweep = run_rsweep(r_values, classification_config=c_config, regression_config=r_config)
+    headers = ["Dataset"] + [f"r={r}" for r in sweep.r_values]
+    rows = [
+        [ds.replace("_", " ").title()] + list(sweep.normalized_error[ds])
+        for ds in sweep.normalized_error
+    ]
+    print(format_table(headers, rows,
+                       title="Figure 8: normalized error vs r (reference: random basis)"))
+
+
+_TARGETS = {
+    "table1": _print_table1,
+    "table2": _print_table2,
+    "figure3": _print_figure3,
+    "figure6": _print_figure6,
+    "figure7": _print_figure7,
+    "figure8": _print_figure8,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("target", choices=sorted(_TARGETS))
+    parser.add_argument("--dim", type=int, default=10_000, help="hyperspace dimension")
+    parser.add_argument("--seed", type=int, default=2023, help="master seed")
+    parser.add_argument("--size", type=int, default=10, help="basis size (figure3)")
+    parser.add_argument("--fast", action="store_true", help="smaller, quicker sweep")
+    args = parser.parse_args(argv)
+    _TARGETS[args.target](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

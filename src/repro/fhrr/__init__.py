@@ -1,0 +1,14 @@
+"""FHRR phasor space and fractional power encoding (library extension).
+
+The modern VSA-native treatment of circular data, included as the
+counterpoint to the paper's binary circular-hypervectors: instead of
+constructing a discrete basis set, encode the angle as integer-frequency
+phasors whose expected similarity *is* a designable circular kernel.
+See EXPERIMENTS.md ("bandwidth limitation") for why this matters and
+``benchmarks/bench_extension_fpe.py`` for the head-to-head comparison.
+"""
+
+from .fpe import FPERegressor, FractionalPowerEncoding
+from .space import FHRRSpace
+
+__all__ = ["FHRRSpace", "FractionalPowerEncoding", "FPERegressor"]

@@ -1,0 +1,5 @@
+"""Hyperdimensional consistent hashing (the origin of circular-hypervectors)."""
+
+from .hyperhash import HyperdimensionalHashRing, key_to_angle
+
+__all__ = ["HyperdimensionalHashRing", "key_to_angle"]

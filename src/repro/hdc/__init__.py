@@ -1,0 +1,77 @@
+"""The Hyperdimensional Computing substrate.
+
+This subpackage implements the complete HDC machinery the paper relies on
+(Section 2): binary hypervectors, the bind/bundle/permute arithmetic, the
+normalized Hamming distance, item (cleanup) memories, and the compound
+encoders used by the experiments.  The paper's own contributions — the
+basis-hypervector constructions — live in :mod:`repro.basis` and are built
+on top of this substrate.
+"""
+
+from .hypervector import (
+    BIT_DTYPE,
+    DEFAULT_DIMENSION,
+    as_hypervector,
+    is_hypervector,
+    ones,
+    pack_bits,
+    random_hypervector,
+    random_hypervectors,
+    unpack_bits,
+    zeros,
+)
+from .memory import ItemMemory
+from .ops import (
+    bind,
+    bind_all,
+    bundle,
+    hamming_distance,
+    inverse_permute,
+    majority_from_counts,
+    pairwise_hamming,
+    pairwise_similarity,
+    permute,
+    similarity,
+)
+from .spaces import BSCSpace, MAPSpace, VectorSpace, binary_to_bipolar, bipolar_to_binary
+from .encoders import (
+    encode_bound_records,
+    encode_keyvalue_record,
+    encode_keyvalue_records,
+    encode_ngrams,
+    encode_sequence,
+)
+
+__all__ = [
+    "BIT_DTYPE",
+    "DEFAULT_DIMENSION",
+    "as_hypervector",
+    "is_hypervector",
+    "ones",
+    "zeros",
+    "pack_bits",
+    "unpack_bits",
+    "random_hypervector",
+    "random_hypervectors",
+    "bind",
+    "bind_all",
+    "bundle",
+    "majority_from_counts",
+    "permute",
+    "inverse_permute",
+    "hamming_distance",
+    "similarity",
+    "pairwise_hamming",
+    "pairwise_similarity",
+    "ItemMemory",
+    "VectorSpace",
+    "BSCSpace",
+    "MAPSpace",
+    "binary_to_bipolar",
+    "bipolar_to_binary",
+    "encode_keyvalue_record",
+    "encode_keyvalue_records",
+    "encode_bound_records",
+    "encode_sequence",
+    "encode_ngrams",
+]

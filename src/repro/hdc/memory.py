@@ -1,0 +1,157 @@
+"""Item (cleanup) memory: nearest-neighbour retrieval over hypervectors.
+
+An *item memory* stores a table of labelled hypervectors and answers
+similarity queries.  It is the retrieval half of every HDC pipeline:
+
+* classification (Section 2.2) queries the class-vector table,
+* regression (Section 2.3) "cleans up" the noisy unbound label vector by
+  snapping it to the nearest label hypervector ``L_l``,
+* the consistent-hashing system (:mod:`repro.hashing`) routes requests to
+  the most similar server hypervector.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
+from .hypervector import as_hypervector
+from .ops import pairwise_hamming
+
+__all__ = ["ItemMemory"]
+
+
+class ItemMemory:
+    """Associative memory mapping keys to hypervectors.
+
+    Keys may be any hashable label (class ids, server names, level
+    indices).  Lookup is an exact nearest-neighbour scan by normalized
+    Hamming distance — for the table sizes in HDC applications (tens to a
+    few thousand entries) a vectorised scan is both exact and fast.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.hdc import ItemMemory
+    >>> mem = ItemMemory(dim=16)
+    >>> mem.add("a", np.zeros(16, dtype=np.uint8))
+    >>> mem.add("b", np.ones(16, dtype=np.uint8))
+    >>> noisy = np.zeros(16, dtype=np.uint8); noisy[0] = 1
+    >>> mem.query(noisy)
+    'a'
+    """
+
+    def __init__(self, dim: int) -> None:
+        if not isinstance(dim, (int, np.integer)) or isinstance(dim, bool) or dim < 1:
+            raise InvalidParameterError(f"dimension must be a positive integer, got {dim!r}")
+        self._dim = int(dim)
+        self._keys: list[Hashable] = []
+        self._index: dict[Hashable, int] = {}
+        self._rows: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None  # lazily rebuilt cache
+
+    # -- container protocol ---------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Dimensionality every stored hypervector must have."""
+        return self._dim
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def keys(self) -> list[Hashable]:
+        """Stored keys in insertion order."""
+        return list(self._keys)
+
+    # -- mutation ---------------------------------------------------------------
+    def add(self, key: Hashable, hv: np.ndarray) -> None:
+        """Insert or replace the hypervector stored under ``key``."""
+        arr = as_hypervector(hv)
+        if arr.ndim != 1:
+            raise InvalidParameterError(
+                f"ItemMemory stores single hypervectors, got shape {arr.shape}"
+            )
+        if arr.shape[-1] != self._dim:
+            raise DimensionMismatchError(self._dim, arr.shape[-1], "ItemMemory.add")
+        if key in self._index:
+            self._rows[self._index[key]] = arr
+        else:
+            self._index[key] = len(self._keys)
+            self._keys.append(key)
+            self._rows.append(arr)
+        self._matrix = None
+
+    def add_many(self, items: Iterable[tuple[Hashable, np.ndarray]]) -> None:
+        """Insert several ``(key, hypervector)`` pairs."""
+        for key, hv in items:
+            self.add(key, hv)
+
+    def remove(self, key: Hashable) -> None:
+        """Delete ``key`` from the memory (raises ``KeyError`` if absent)."""
+        pos = self._index.pop(key)
+        self._keys.pop(pos)
+        self._rows.pop(pos)
+        for other, idx in self._index.items():
+            if idx > pos:
+                self._index[other] = idx - 1
+        self._matrix = None
+
+    def get(self, key: Hashable) -> np.ndarray:
+        """Return the stored hypervector for ``key`` (a copy-safe view)."""
+        return self._rows[self._index[key]]
+
+    # -- retrieval ---------------------------------------------------------------
+    def _table(self) -> np.ndarray:
+        if not self._rows:
+            raise EmptyModelError("ItemMemory is empty; nothing to query")
+        if self._matrix is None or self._matrix.shape[0] != len(self._rows):
+            self._matrix = np.stack(self._rows, axis=0)
+        return self._matrix
+
+    def distances(self, query: np.ndarray) -> np.ndarray:
+        """Normalized Hamming distance from ``query`` to every stored item.
+
+        ``query`` may be a single hypervector ``(d,)`` (returns ``(k,)``)
+        or a batch ``(n, d)`` (returns ``(n, k)``), where ``k`` is the
+        number of stored items, ordered as :meth:`keys`.
+        """
+        table = self._table()
+        arr = as_hypervector(query)
+        if arr.shape[-1] != self._dim:
+            raise DimensionMismatchError(self._dim, arr.shape[-1], "ItemMemory.distances")
+        single = arr.ndim == 1
+        batch = arr[None, :] if single else arr
+        dist = pairwise_hamming(batch, table)
+        return dist[0] if single else dist
+
+    def query(self, hv: np.ndarray) -> Hashable:
+        """Return the key of the most similar stored hypervector."""
+        return self.query_batch(np.asarray(hv)[None, :])[0]
+
+    def query_batch(self, hvs: np.ndarray) -> list[Hashable]:
+        """Vectorised :meth:`query` over a batch ``(n, d)``.
+
+        Ties are resolved toward the earliest-inserted item, matching
+        ``numpy.argmin`` semantics; deterministic and documented so that
+        experiments are reproducible.
+        """
+        dist = self.distances(hvs)
+        if dist.ndim == 1:
+            dist = dist[None, :]
+        winners = np.argmin(dist, axis=-1)
+        return [self._keys[i] for i in winners]
+
+    def cleanup(self, hv: np.ndarray) -> np.ndarray:
+        """Snap a noisy hypervector to the nearest stored one.
+
+        This is the "cleanup memory" role used by the regression decode
+        (Section 2.3): the unbound vector ``M ⊗ φ(x̂)`` is approximately a
+        label hypervector plus noise; cleanup recovers the exact ``L_l``.
+        """
+        key = self.query(hv)
+        return self.get(key)

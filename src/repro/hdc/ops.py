@@ -1,0 +1,279 @@
+"""The three HDC operations: binding, bundling and permutation (Figure 1).
+
+All functions are element-wise along the trailing (dimension) axis and
+broadcast over leading axes, so they work identically on single
+hypervectors ``(d,)`` and batches ``(n, d)``.
+
+Semantics (binary spatter codes, as used in the paper):
+
+* **bind** — element-wise XOR.  Associates two pieces of information; the
+  output is dissimilar to both operands; commutative; distributive over
+  bundling; self-inverse (``bind(a, bind(a, b)) == b``).
+* **bundle** — element-wise majority.  Represents a set; the output is the
+  mean-vector, similar to each operand.  Ties (possible only for an even
+  number of operands) are resolved by an explicit, configurable policy.
+* **permute** — cyclic shift.  Encodes order; the output is dissimilar to
+  the input; exactly invertible by the opposite shift.
+
+Distances:
+
+* **hamming_distance** — the normalized Hamming distance
+  ``δ : H × H → [0, 1]`` of Section 2.
+* **similarity** — ``1 − δ`` as defined in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from .._rng import SeedLike, ensure_rng
+from ..exceptions import DimensionMismatchError, InvalidParameterError
+from .hypervector import BIT_DTYPE, as_hypervector
+
+__all__ = [
+    "TieBreak",
+    "bind",
+    "bind_all",
+    "bundle",
+    "majority_from_counts",
+    "permute",
+    "inverse_permute",
+    "hamming_distance",
+    "similarity",
+    "pairwise_hamming",
+    "pairwise_similarity",
+]
+
+#: Valid tie-breaking policies for :func:`bundle`.
+TieBreak = str
+
+_TIE_BREAKS = ("random", "zeros", "ones", "alternate")
+
+
+def _check_same_dim(a: np.ndarray, b: np.ndarray, context: str) -> None:
+    if a.shape[-1] != b.shape[-1]:
+        raise DimensionMismatchError(a.shape[-1], b.shape[-1], context)
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind two hypervectors (element-wise XOR), ``⊗`` in the paper.
+
+    Properties (all tested in ``tests/hdc/test_ops.py``):
+
+    * ``bind(a, b) == bind(b, a)`` (commutative),
+    * ``bind(a, bind(a, b)) == b`` (self-inverse),
+    * ``hamming_distance(bind(a, b), a) ≈ 1/2`` for random ``b``
+      (output dissimilar to operands),
+    * distance-preserving: binding both sides with the same vector leaves
+      the distance unchanged.
+    """
+    a = as_hypervector(a)
+    b = as_hypervector(b)
+    _check_same_dim(a, b, "bind")
+    return np.bitwise_xor(a, b)
+
+
+def bind_all(hvs: Union[np.ndarray, Sequence[np.ndarray]]) -> np.ndarray:
+    """Bind a stack of hypervectors together: ``h_1 ⊗ h_2 ⊗ … ⊗ h_n``.
+
+    ``hvs`` may be an ``(n, …, d)`` array or a sequence of equally shaped
+    hypervectors.  Because XOR is associative and commutative the result is
+    order-independent.  Used for multi-feature record encodings such as the
+    ``Y ⊗ D ⊗ H`` encoding of the Beijing experiment (Section 6.2).
+    """
+    stack = _as_stack(hvs)
+    return np.bitwise_xor.reduce(stack, axis=0)
+
+
+def _as_stack(hvs: Union[np.ndarray, Sequence[np.ndarray]]) -> np.ndarray:
+    if isinstance(hvs, np.ndarray):
+        stack = as_hypervector(hvs)
+        if stack.ndim < 2:
+            raise InvalidParameterError(
+                "expected a stack of hypervectors with shape (n, ..., d); "
+                f"got shape {stack.shape}"
+            )
+        return stack
+    items = [as_hypervector(h) for h in hvs]
+    if not items:
+        raise InvalidParameterError("cannot combine an empty collection of hypervectors")
+    dim = items[0].shape[-1]
+    for item in items[1:]:
+        _check_same_dim(items[0], item, "stack")
+    del dim
+    return np.stack(items, axis=0)
+
+
+def majority_from_counts(
+    counts: np.ndarray,
+    total: Union[int, np.ndarray],
+    tie_break: TieBreak = "random",
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Threshold per-bit one-counts into a majority vote.
+
+    This is the primitive behind :func:`bundle` and behind the streaming
+    accumulators used by the learning models: they keep an integer count of
+    ones per dimension and call this function once at the end, which gives
+    exact majority semantics regardless of how many vectors were bundled.
+
+    Parameters
+    ----------
+    counts:
+        Integer array of per-dimension counts of one-bits.
+    total:
+        Number of bundled hypervectors (scalar, or array broadcastable to
+        ``counts`` for per-row totals).
+    tie_break:
+        Policy used when ``2 * counts == total`` (only possible for even
+        totals):
+
+        * ``"random"``   — i.i.d. fair coin per tied bit (paper-faithful:
+          keeps every bit uniform and independent),
+        * ``"zeros"``    — tied bits become 0,
+        * ``"ones"``     — tied bits become 1,
+        * ``"alternate"``— tied bits take the parity of their dimension
+          index (deterministic and unbiased across dimensions).
+    seed:
+        Randomness for the ``"random"`` policy.
+    """
+    if tie_break not in _TIE_BREAKS:
+        raise InvalidParameterError(
+            f"tie_break must be one of {_TIE_BREAKS}, got {tie_break!r}"
+        )
+    counts = np.asarray(counts)
+    doubled = 2 * counts.astype(np.int64)
+    total_arr = np.asarray(total, dtype=np.int64)
+    out = (doubled > total_arr).astype(BIT_DTYPE)
+    ties = doubled == total_arr
+    if np.any(ties):
+        if tie_break == "random":
+            rng = ensure_rng(seed)
+            coin = rng.integers(0, 2, size=counts.shape, dtype=BIT_DTYPE)
+            out[ties] = coin[ties]
+        elif tie_break == "ones":
+            out[ties] = 1
+        elif tie_break == "alternate":
+            parity = (np.arange(counts.shape[-1], dtype=np.int64) % 2).astype(BIT_DTYPE)
+            parity = np.broadcast_to(parity, counts.shape)
+            out[ties] = parity[ties]
+        # "zeros": nothing to do, out already holds 0 at ties.
+    return out
+
+
+def bundle(
+    hvs: Union[np.ndarray, Sequence[np.ndarray]],
+    tie_break: TieBreak = "random",
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Bundle hypervectors with an element-wise majority vote, ``⊕``.
+
+    ``hvs`` is a stack ``(n, …, d)`` or a sequence of hypervectors; the
+    reduction runs over the first axis.  The output is the *mean-vector*:
+    it is closer to every operand than two random vectors would be, which
+    is what makes class prototypes (Section 2.2) work.
+
+    For an even number of operands ties are possible; see
+    :func:`majority_from_counts` for the tie-breaking policies.
+    """
+    stack = _as_stack(hvs)
+    counts = stack.sum(axis=0, dtype=np.int64)
+    return majority_from_counts(counts, stack.shape[0], tie_break=tie_break, seed=seed)
+
+
+def permute(hv: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """Cyclically shift hypervector coordinates, ``Π^shifts`` in the paper.
+
+    A positive shift moves bits toward higher indices.  Permutation
+    decorrelates: ``permute(h)`` is quasi-orthogonal to ``h`` for random
+    ``h``.  It distributes over both bind and bundle, and
+    :func:`inverse_permute` undoes it exactly.
+    """
+    arr = as_hypervector(hv)
+    if not isinstance(shifts, (int, np.integer)) or isinstance(shifts, bool):
+        raise InvalidParameterError(f"shifts must be an integer, got {shifts!r}")
+    return np.roll(arr, int(shifts), axis=-1)
+
+
+def inverse_permute(hv: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """Exact inverse of :func:`permute` with the same ``shifts`` value."""
+    return permute(hv, -shifts)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Normalized Hamming distance ``δ(a, b) ∈ [0, 1]`` (Section 2).
+
+    Broadcasts over leading axes: comparing ``(n, d)`` against ``(d,)``
+    yields ``(n,)``; comparing ``(n, 1, d)`` against ``(m, d)`` yields
+    ``(n, m)``.  Returns a scalar array for two single hypervectors.
+    """
+    a = as_hypervector(a)
+    b = as_hypervector(b)
+    _check_same_dim(a, b, "hamming_distance")
+    return np.not_equal(a, b).mean(axis=-1)
+
+
+def similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Hypervector similarity ``1 − δ(a, b)`` as defined in the paper."""
+    return 1.0 - hamming_distance(a, b)
+
+
+def pairwise_hamming(vectors: np.ndarray, others: np.ndarray | None = None) -> np.ndarray:
+    """All-pairs normalized Hamming distance.
+
+    ``vectors`` has shape ``(n, d)``; ``others`` defaults to ``vectors``
+    and has shape ``(m, d)``.  Returns an ``(n, m)`` matrix.  This is the
+    computation behind the Figure 3 heatmaps and behind every
+    nearest-neighbour query in the item memory, so it is kept allocation
+    conscious: comparisons run in chunks when the operand product is large.
+    """
+    vectors = as_hypervector(vectors)
+    if vectors.ndim != 2:
+        raise InvalidParameterError(
+            f"pairwise_hamming expects a (n, d) matrix, got shape {vectors.shape}"
+        )
+    if others is None:
+        others = vectors
+    else:
+        others = as_hypervector(others)
+        if others.ndim != 2:
+            raise InvalidParameterError(
+                f"pairwise_hamming expects a (m, d) matrix, got shape {others.shape}"
+            )
+        _check_same_dim(vectors, others, "pairwise_hamming")
+
+    n, d = vectors.shape
+    m = others.shape[0]
+    out = np.empty((n, m), dtype=np.float64)
+
+    if hasattr(np, "bitwise_count"):
+        # Fast path: pack bits 8-per-byte and use the hardware popcount.
+        # numpy pads the final byte with zeros for both operands, so the
+        # XOR of the padding is zero and does not perturb the count.
+        packed_a = np.packbits(vectors, axis=-1)
+        packed_b = packed_a if others is vectors else np.packbits(others, axis=-1)
+        width = packed_a.shape[1]
+        max_cells = 64_000_000
+        chunk = max(1, min(n, max_cells // max(1, m * width)))
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            xor = np.bitwise_xor(packed_a[start:stop, None, :], packed_b[None, :, :])
+            counts = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
+            out[start:stop] = counts / d
+        return out
+
+    # Fallback: chunked boolean comparison.
+    max_cells = 32_000_000
+    chunk = max(1, min(n, max_cells // max(1, m * d)))
+    for start in range(0, n, chunk):
+        stop = min(n, start + chunk)
+        diff = vectors[start:stop, None, :] != others[None, :, :]
+        out[start:stop] = diff.mean(axis=-1)
+    return out
+
+
+def pairwise_similarity(vectors: np.ndarray, others: np.ndarray | None = None) -> np.ndarray:
+    """All-pairs similarity ``1 − δ``; see :func:`pairwise_hamming`."""
+    return 1.0 - pairwise_hamming(vectors, others)

@@ -1,0 +1,21 @@
+"""Information-theoretic analysis of basis sets (Section 4.1)."""
+
+from .content import (
+    empirical_column_entropy,
+    entropy,
+    information_content,
+    interpolated_level_set_entropy,
+    legacy_level_set_entropy,
+    log2_binomial,
+    random_set_entropy,
+)
+
+__all__ = [
+    "information_content",
+    "entropy",
+    "log2_binomial",
+    "random_set_entropy",
+    "legacy_level_set_entropy",
+    "interpolated_level_set_entropy",
+    "empirical_column_entropy",
+]

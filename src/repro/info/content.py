@@ -1,0 +1,171 @@
+"""Shannon information content of basis-hypervector generation (Section 4.1).
+
+The paper's theoretical argument: a generation process with more possible
+outcomes assigns lower probability to each, hence each realised set
+carries more Shannon information ``ℐ(ε) = log₂(1/P(ε))``.  Random sets are
+maximal; the legacy level construction, with its deterministic pairwise
+distances, is heavily constrained; Algorithm 1 relaxes the constraint and
+recovers entropy.  This module provides:
+
+* the elementary quantities (:func:`information_content`, :func:`entropy`),
+* closed-form generation entropies for the three constructions
+  (:func:`random_set_entropy`, :func:`legacy_level_set_entropy`,
+  :func:`interpolated_level_set_entropy`), and
+* a plug-in empirical estimator over the per-dimension column patterns of
+  a generated set (:func:`empirical_column_entropy`), which the tests use
+  to confirm the ordering legacy < interpolated < random empirically.
+
+Entropies are reported in bits.  For the interpolated construction the
+continuous filter Φ is *not* counted — only the distribution of the
+resulting bit patterns matters, which is discrete.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "information_content",
+    "entropy",
+    "log2_binomial",
+    "random_set_entropy",
+    "legacy_level_set_entropy",
+    "interpolated_level_set_entropy",
+    "empirical_column_entropy",
+]
+
+
+def information_content(probability: float) -> float:
+    """``ℐ(ε) = log₂(1/P(ε))`` — bits conveyed by an outcome of probability P."""
+    if not 0.0 < probability <= 1.0:
+        raise InvalidParameterError(
+            f"probability must lie in (0, 1], got {probability}"
+        )
+    return -math.log2(probability)
+
+
+def entropy(probabilities: np.ndarray) -> float:
+    """Shannon entropy ``H = −Σ p log₂ p`` of a discrete distribution (bits).
+
+    Zero-probability entries contribute 0 (the usual ``0 log 0 = 0``
+    convention).  The distribution must sum to 1 within tolerance.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    if np.any(p < -1e-12):
+        raise InvalidParameterError("probabilities must be non-negative")
+    total = float(p.sum())
+    if abs(total - 1.0) > 1e-6:
+        raise InvalidParameterError(f"probabilities must sum to 1, got {total}")
+    p = np.clip(p, 0.0, 1.0)
+    nonzero = p[p > 0]
+    return float(-(nonzero * np.log2(nonzero)).sum())
+
+
+def log2_binomial(n: int, k: int) -> float:
+    """``log₂ C(n, k)`` via log-gamma (stable for hyperspace-sized ``n``)."""
+    if k < 0 or k > n:
+        raise InvalidParameterError(f"require 0 ≤ k ≤ n, got n={n}, k={k}")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    ) / math.log(2.0)
+
+
+def random_set_entropy(size: int, dim: int) -> float:
+    """Entropy of a random-hypervector set: ``m·d`` bits (uniform over ``H^m``)."""
+    if size < 1 or dim < 1:
+        raise InvalidParameterError("size and dim must be positive")
+    return float(size * dim)
+
+
+def legacy_level_set_entropy(size: int, dim: int) -> float:
+    """Outcome entropy of the sequential-flip (legacy) level set.
+
+    The observable outcome is determined by (a) the uniform first level
+    (``d`` bits) and (b) the assignment of positions to flip blocks: each
+    of the ``d`` positions is either never flipped (``⌊d/2⌋`` of them,
+    exactly) or belongs to exactly one of the ``m − 1`` blocks (of fixed
+    sizes ``b_k``).  The number of assignments is the multinomial
+    coefficient ``d! / (⌊d/2⌋! · Π_k b_k!)``, so
+
+    ``H = d + log₂( d! / (⌈d/2⌉! · Π_k b_k!) )``.
+
+    Quantitatively this sits *just below* the interpolated construction's
+    entropy: the multinomial constraint (every block has an exact size)
+    costs ``Θ(m · log d)`` bits relative to Algorithm 1's per-dimension
+    i.i.d. draw.  The per-dimension leading terms coincide — an honest
+    refinement of Section 4.1: the entropy gap between the two level
+    generators is real but logarithmic-order, while the gap to *random*
+    sets is ``Θ(m · d)`` and dominates everything.
+    """
+    if size < 2 or dim < 2:
+        raise InvalidParameterError("size must be ≥ 2 and dim ≥ 2")
+    half = dim // 2
+    unflipped = dim - half
+    # Block sizes as numpy's array_split makes them: near-equal integers.
+    base, remainder = divmod(half, size - 1)
+    block_sizes = [base + 1] * remainder + [base] * (size - 1 - remainder)
+    log2_assignments = (
+        math.lgamma(dim + 1)
+        - math.lgamma(unflipped + 1)
+        - sum(math.lgamma(b + 1) for b in block_sizes)
+    ) / math.log(2.0)
+    return float(dim + log2_assignments)
+
+
+def interpolated_level_set_entropy(size: int, dim: int) -> float:
+    """Entropy of the bit patterns produced by Algorithm 1.
+
+    Per dimension ``∂`` the observable outcome is the column
+    ``(L_1(∂), …, L_m(∂))``.  The endpoints contribute 2 bits.  When
+    ``L_1(∂) = L_m(∂)`` (probability 1/2) the column is constant; when
+    they differ, the column is a step function whose step position is the
+    band of Φ(∂) among the ``m − 1`` equiprobable threshold bands:
+    ``log₂(m − 1)`` further bits.  Hence
+
+    ``H = d · (2 + ½ · log₂(m − 1))``.
+
+    Larger than the legacy construction's entropy for every ``m ≥ 3``
+    at realistic ``d`` — the quantitative form of Section 4.1's argument.
+    """
+    if size < 2 or dim < 1:
+        raise InvalidParameterError("size must be ≥ 2 and dim ≥ 1")
+    if size == 2:
+        return float(2 * dim)
+    return float(dim * (2.0 + 0.5 * math.log2(size - 1)))
+
+
+def empirical_column_entropy(vectors: np.ndarray) -> float:
+    """Plug-in entropy (bits per dimension) of a set's column patterns.
+
+    Treats each dimension's column ``(v_1(∂), …, v_m(∂))`` as one draw
+    from the column distribution and estimates its entropy from the
+    empirical pattern frequencies.  Biased low for small ``d`` (plug-in
+    estimators always are).
+
+    Interpretation notes:
+
+    * random sets approach ``m`` bits/dimension (all ``2^m`` patterns),
+      while any level construction approaches ``2 + ½ log₂(m − 1)``
+      (monotone step-function columns) — the estimator separates those
+      cleanly;
+    * legacy vs interpolated level sets share the same *marginal* column
+      distribution; their entropy gap lives in the joint (the legacy
+      flip plan fixes exact per-pattern counts).  Compare pattern-count
+      multisets across seeds for that distinction, not this estimator.
+    """
+    arr = np.asarray(vectors)
+    if arr.ndim != 2:
+        raise InvalidParameterError(f"expected an (m, d) set, got shape {arr.shape}")
+    m, d = arr.shape
+    if m > 62:
+        raise InvalidParameterError(
+            "column-pattern entropy supports at most 62 members (bit packing)"
+        )
+    weights = (1 << np.arange(m, dtype=np.int64))[:, None]
+    codes = (arr.astype(np.int64) * weights).sum(axis=0)
+    _, counts = np.unique(codes, return_counts=True)
+    return entropy(counts / d)

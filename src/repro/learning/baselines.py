@@ -1,0 +1,186 @@
+"""Classical (non-HDC) baselines for the synthetic workloads.
+
+The paper compares basis sets against each other; these baselines exist to
+anchor the synthetic datasets themselves: a surrogate dataset on which a
+nearest-centroid classifier or a trigonometric regression performs no
+better than chance would not be a meaningful test bed.  The test-suite
+uses them to certify the generators, and the examples report them next to
+the HDC models.
+
+All implementations are dependency-free (numpy only):
+
+* :class:`NearestCentroidBaseline` — per-class centroids under either the
+  Euclidean metric or the sum of per-channel circular distances (the
+  proper metric for angular features),
+* :class:`KNNBaseline` — brute-force k-nearest neighbours,
+* :class:`TrigRegressionBaseline` — least-squares regression on a
+  truncated Fourier basis of a circular feature (the classical treatment
+  of circular–linear regression, cf. Lund [25]).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..exceptions import EmptyModelError, InvalidParameterError
+from ..stats.descriptive import circular_mean
+from ..stats.distance import circular_distance
+
+__all__ = ["NearestCentroidBaseline", "KNNBaseline", "TrigRegressionBaseline"]
+
+_METRICS = ("euclidean", "circular")
+
+
+def _check_features(x: np.ndarray) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise InvalidParameterError(f"expected (n, k) features, got shape {arr.shape}")
+    return arr
+
+
+class NearestCentroidBaseline:
+    """Per-class centroid classifier with a pluggable metric.
+
+    With ``metric="circular"`` the centroid of each channel is the
+    *circular mean* and distances are summed Lund distances
+    ``ρ(α, β) = (1 − cos(α − β))/2`` — the directional-statistics
+    equivalent of nearest centroid.
+    """
+
+    def __init__(self, metric: str = "euclidean") -> None:
+        if metric not in _METRICS:
+            raise InvalidParameterError(f"metric must be one of {_METRICS}, got {metric!r}")
+        self.metric = metric
+        self._centroids: dict[Hashable, np.ndarray] = {}
+
+    def fit(self, x: np.ndarray, labels: Sequence[Hashable]) -> "NearestCentroidBaseline":
+        arr = _check_features(x)
+        labels = list(labels)
+        if len(labels) != arr.shape[0]:
+            raise InvalidParameterError("labels length must match samples")
+        for label in set(labels):
+            mask = np.fromiter((l == label for l in labels), dtype=bool, count=len(labels))
+            block = arr[mask]
+            if self.metric == "circular":
+                centroid = np.array([circular_mean(block[:, c]) for c in range(block.shape[1])])
+            else:
+                centroid = block.mean(axis=0)
+            self._centroids[label] = centroid
+        return self
+
+    def predict(self, x: np.ndarray) -> list[Hashable]:
+        if not self._centroids:
+            raise EmptyModelError("baseline has no training data")
+        arr = _check_features(x)
+        order = list(self._centroids.keys())
+        table = np.stack([self._centroids[c] for c in order], axis=0)  # (k_classes, c)
+        if self.metric == "circular":
+            dist = circular_distance(arr[:, None, :], table[None, :, :]).sum(axis=-1)
+        else:
+            dist = np.linalg.norm(arr[:, None, :] - table[None, :, :], axis=-1)
+        return [order[i] for i in np.argmin(dist, axis=-1)]
+
+    def score(self, x: np.ndarray, labels: Sequence[Hashable]) -> float:
+        predictions = self.predict(x)
+        return float(np.mean([p == t for p, t in zip(predictions, labels)]))
+
+
+class KNNBaseline:
+    """Brute-force k-nearest-neighbour classifier (Euclidean or circular)."""
+
+    def __init__(self, k: int = 5, metric: str = "euclidean") -> None:
+        if k < 1:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        if metric not in _METRICS:
+            raise InvalidParameterError(f"metric must be one of {_METRICS}, got {metric!r}")
+        self.k = int(k)
+        self.metric = metric
+        self._x: np.ndarray | None = None
+        self._labels: list[Hashable] = []
+
+    def fit(self, x: np.ndarray, labels: Sequence[Hashable]) -> "KNNBaseline":
+        arr = _check_features(x)
+        labels = list(labels)
+        if len(labels) != arr.shape[0]:
+            raise InvalidParameterError("labels length must match samples")
+        self._x = arr
+        self._labels = labels
+        return self
+
+    def predict(self, x: np.ndarray) -> list[Hashable]:
+        if self._x is None:
+            raise EmptyModelError("baseline has no training data")
+        arr = _check_features(x)
+        if self.metric == "circular":
+            dist = circular_distance(arr[:, None, :], self._x[None, :, :]).sum(axis=-1)
+        else:
+            dist = np.linalg.norm(arr[:, None, :] - self._x[None, :, :], axis=-1)
+        k = min(self.k, len(self._labels))
+        nearest = np.argpartition(dist, kth=k - 1, axis=-1)[:, :k]
+        out: list[Hashable] = []
+        for row in nearest:
+            votes = Counter(self._labels[i] for i in row)
+            out.append(votes.most_common(1)[0][0])
+        return out
+
+    def score(self, x: np.ndarray, labels: Sequence[Hashable]) -> float:
+        predictions = self.predict(x)
+        return float(np.mean([p == t for p, t in zip(predictions, labels)]))
+
+
+class TrigRegressionBaseline:
+    """Least-squares regression on a truncated Fourier basis.
+
+    For a single circular feature ``θ`` the design matrix is
+    ``[1, cos θ, sin θ, cos 2θ, sin 2θ, …]`` up to ``harmonics`` terms;
+    for multiple circular features the per-feature harmonics are
+    concatenated.  This is the classical parametric treatment of
+    circular–linear regression and a strong sanity baseline for the
+    Beijing and Mars Express surrogates.
+    """
+
+    def __init__(self, harmonics: int = 2) -> None:
+        if harmonics < 0:
+            raise InvalidParameterError(f"harmonics must be non-negative, got {harmonics}")
+        self.harmonics = int(harmonics)
+        self._coef: np.ndarray | None = None
+        self._num_features: int | None = None
+
+    def _design(self, x: np.ndarray) -> np.ndarray:
+        arr = _check_features(x)
+        if self._num_features is None:
+            self._num_features = arr.shape[1]
+        elif arr.shape[1] != self._num_features:
+            raise InvalidParameterError(
+                f"expected {self._num_features} features, got {arr.shape[1]}"
+            )
+        columns = [np.ones(arr.shape[0])]
+        for c in range(arr.shape[1]):
+            for h in range(1, self.harmonics + 1):
+                columns.append(np.cos(h * arr[:, c]))
+                columns.append(np.sin(h * arr[:, c]))
+        return np.stack(columns, axis=1)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "TrigRegressionBaseline":
+        design = self._design(x)
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (design.shape[0],):
+            raise InvalidParameterError("y must be 1-D and match the sample count")
+        self._coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._coef is None:
+            raise EmptyModelError("baseline has no training data")
+        return self._design(x) @ self._coef
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean squared error on ``(x, y)``."""
+        y = np.asarray(y, dtype=np.float64)
+        residual = y - self.predict(x)
+        return float(np.mean(residual**2))

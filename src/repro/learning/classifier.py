@@ -1,0 +1,207 @@
+"""HDC classification (Section 2.2) with optional online refinement.
+
+The standard framework: encode every training sample, bundle the samples
+of each class into a *class-vector* ``M_i`` (the class prototype), and
+classify a query by nearest class-vector in Hamming distance:
+
+``ℓ*(x̂) = arg min_i δ(φ(x̂), M_i)``
+
+:class:`CentroidClassifier` implements exactly this.  :meth:`refine` adds
+the widely used retraining extension (beyond the paper): misclassified
+samples are added to their true class accumulator and subtracted from the
+wrongly predicted one, in the spirit of perceptron updates — the paper's
+single-pass training is the ``epochs = 0`` special case.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from .._rng import SeedLike, ensure_rng
+from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
+from ..hdc.hypervector import BIT_DTYPE, as_hypervector
+from ..hdc.ops import TieBreak, pairwise_hamming
+from .metrics import accuracy
+
+__all__ = ["CentroidClassifier"]
+
+
+class CentroidClassifier:
+    """Nearest-class-vector HDC classifier.
+
+    Parameters
+    ----------
+    dim:
+        Hyperspace dimensionality of the encoded samples.
+    tie_break:
+        Majority tie policy for bundling class vectors (classes with an
+        even number of samples can tie per-bit); see
+        :func:`repro.hdc.ops.majority_from_counts`.
+    seed:
+        Randomness for the ``"random"`` tie policy (and nothing else —
+        training itself is deterministic).
+
+    The classifier consumes *already encoded* hypervectors; composing it
+    with an encoding function is the caller's job (see
+    :mod:`repro.experiments.classification` for the paper's pipelines).
+    This keeps the learning core independent of any particular encoder.
+    """
+
+    def __init__(
+        self, dim: int, tie_break: TieBreak = "random", seed: SeedLike = None
+    ) -> None:
+        if not isinstance(dim, (int, np.integer)) or isinstance(dim, bool) or dim < 1:
+            raise InvalidParameterError(f"dim must be a positive integer, got {dim!r}")
+        self._dim = int(dim)
+        self._tie_break = tie_break
+        self._rng = ensure_rng(seed)
+        # Signed accumulator per class: Σ (2·bit − 1) over class samples.
+        self._accumulators: dict[Hashable, np.ndarray] = {}
+        self._counts: dict[Hashable, int] = {}
+        self._class_vectors: dict[Hashable, np.ndarray] | None = None
+
+    # -- properties -------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Hyperspace dimensionality the classifier was created for."""
+        return self._dim
+
+    @property
+    def classes(self) -> list[Hashable]:
+        """Classes seen so far, in first-seen order."""
+        return list(self._accumulators.keys())
+
+    def class_vector(self, label: Hashable) -> np.ndarray:
+        """The binary prototype ``M_i`` of ``label`` (built on demand)."""
+        self._materialise()
+        assert self._class_vectors is not None
+        if label not in self._class_vectors:
+            raise KeyError(f"unknown class {label!r}")
+        return self._class_vectors[label]
+
+    # -- training ----------------------------------------------------------------
+    def _check_batch(self, encoded: np.ndarray) -> np.ndarray:
+        arr = as_hypervector(encoded)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2:
+            raise InvalidParameterError(
+                f"expected encoded samples of shape (n, d), got {arr.shape}"
+            )
+        if arr.shape[1] != self._dim:
+            raise DimensionMismatchError(self._dim, arr.shape[1], "CentroidClassifier")
+        return arr
+
+    def fit(self, encoded: np.ndarray, labels: Sequence[Hashable]) -> "CentroidClassifier":
+        """Single-pass training: bundle each class's samples (Section 2.2).
+
+        May be called repeatedly; accumulators keep growing, which makes
+        the classifier natively incremental (a property HDC is praised
+        for).  Returns ``self`` for chaining.
+        """
+        arr = self._check_batch(encoded)
+        labels = list(labels)
+        if len(labels) != arr.shape[0]:
+            raise InvalidParameterError(
+                f"got {arr.shape[0]} samples but {len(labels)} labels"
+            )
+        signed = 2 * arr.astype(np.int64) - 1
+        for label in set(labels):
+            mask = np.fromiter((l == label for l in labels), dtype=bool, count=len(labels))
+            contribution = signed[mask].sum(axis=0)
+            if label in self._accumulators:
+                self._accumulators[label] += contribution
+                self._counts[label] += int(mask.sum())
+            else:
+                self._accumulators[label] = contribution
+                self._counts[label] = int(mask.sum())
+        self._class_vectors = None
+        return self
+
+    def refine(
+        self, encoded: np.ndarray, labels: Sequence[Hashable], epochs: int = 1
+    ) -> int:
+        """Perceptron-style retraining on misclassified samples (extension).
+
+        For every misclassified sample, add its signed hypervector to the
+        true class accumulator and subtract it from the predicted one.
+        Returns the number of updates performed over all epochs.
+        """
+        if epochs < 0:
+            raise InvalidParameterError(f"epochs must be non-negative, got {epochs}")
+        arr = self._check_batch(encoded)
+        labels = list(labels)
+        if len(labels) != arr.shape[0]:
+            raise InvalidParameterError(
+                f"got {arr.shape[0]} samples but {len(labels)} labels"
+            )
+        updates = 0
+        for _ in range(epochs):
+            predictions = self.predict(arr)
+            changed = False
+            signed = 2 * arr.astype(np.int64) - 1
+            for row, (true, pred) in enumerate(zip(labels, predictions)):
+                if true == pred:
+                    continue
+                if true not in self._accumulators:
+                    raise InvalidParameterError(
+                        f"label {true!r} was never seen by fit()"
+                    )
+                self._accumulators[true] += signed[row]
+                self._accumulators[pred] -= signed[row]
+                updates += 1
+                changed = True
+            self._class_vectors = None
+            if not changed:
+                break
+        return updates
+
+    # -- inference ---------------------------------------------------------------
+    def _materialise(self) -> None:
+        if not self._accumulators:
+            raise EmptyModelError("classifier has no training data")
+        if self._class_vectors is not None:
+            return
+        vectors: dict[Hashable, np.ndarray] = {}
+        for label, acc in self._accumulators.items():
+            bits = (acc > 0).astype(BIT_DTYPE)
+            ties = acc == 0
+            if np.any(ties):
+                if self._tie_break == "random":
+                    coin = self._rng.integers(0, 2, size=acc.shape, dtype=BIT_DTYPE)
+                    bits[ties] = coin[ties]
+                elif self._tie_break == "ones":
+                    bits[ties] = 1
+                elif self._tie_break == "alternate":
+                    parity = (np.arange(acc.size) % 2).astype(BIT_DTYPE)
+                    bits[ties] = parity[ties]
+                # "zeros": already 0
+            vectors[label] = bits
+        self._class_vectors = vectors
+
+    def decision_distances(self, encoded: np.ndarray) -> tuple[np.ndarray, list[Hashable]]:
+        """Distance of each sample to every class-vector.
+
+        Returns ``(distances, class_order)`` with ``distances`` of shape
+        ``(n, k)``.
+        """
+        self._materialise()
+        assert self._class_vectors is not None
+        arr = self._check_batch(encoded)
+        order = list(self._class_vectors.keys())
+        table = np.stack([self._class_vectors[c] for c in order], axis=0)
+        return pairwise_hamming(arr, table), order
+
+    def predict(self, encoded: np.ndarray) -> list[Hashable]:
+        """Nearest class-vector labels for a batch of encoded samples."""
+        distances, order = self.decision_distances(encoded)
+        winners = np.argmin(distances, axis=-1)
+        return [order[i] for i in winners]
+
+    def score(self, encoded: np.ndarray, labels: Sequence[Hashable]) -> float:
+        """Accuracy of :meth:`predict` against the provided labels."""
+        predictions = self.predict(encoded)
+        return accuracy(np.asarray(list(labels), dtype=object),
+                        np.asarray(predictions, dtype=object))

@@ -1,0 +1,106 @@
+"""Evaluation metrics used by the paper's experiments.
+
+Beyond the standard accuracy and mean-squared error, Section 6.3 defines
+two *normalized* metrics so classification and regression results can
+share one plot (Figure 8):
+
+* normalized MSE — MSE divided by a reference MSE,
+* normalized accuracy error — ``(1 − α) / (1 − ᾱ)`` with ``α`` the
+  accuracy and ``ᾱ`` the reference accuracy.
+
+In both cases the reference is the random-hypervector result, so 1.0
+means "as good as random basis", below 1.0 means better.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "normalized_mse",
+    "normalized_accuracy_error",
+]
+
+
+def _paired(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(y_true)
+    p = np.asarray(y_pred)
+    if t.shape != p.shape:
+        raise InvalidParameterError(
+            f"y_true and y_pred must have equal shapes, got {t.shape} vs {p.shape}"
+        )
+    if t.size == 0:
+        raise InvalidParameterError("need at least one sample")
+    return t, p
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exactly matching labels."""
+    t, p = _paired(y_true, y_pred)
+    return float(np.mean(t == p))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> tuple[np.ndarray, list]:
+    """Confusion counts ``C[i, j]`` = true label ``i`` predicted as ``j``.
+
+    Returns the matrix and the label ordering used for its axes
+    (sorted unique labels unless ``labels`` is supplied).
+    """
+    t, p = _paired(y_true, y_pred)
+    if labels is None:
+        labels = sorted(set(t.tolist()) | set(p.tolist()))
+    index = {label: k for k, label in enumerate(labels)}
+    mat = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for ti, pi in zip(t.tolist(), p.tolist()):
+        if ti not in index or pi not in index:
+            raise InvalidParameterError(f"label {ti!r} or {pi!r} not in supplied labels")
+        mat[index[ti], index[pi]] += 1
+    return mat, list(labels)
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """``MSE = mean((y − ŷ)²)`` — the Table 2 metric."""
+    t, p = _paired(y_true, y_pred)
+    return float(np.mean((t.astype(np.float64) - p.astype(np.float64)) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """``RMSE = √MSE`` (same units as the label)."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """``MAE = mean(|y − ŷ|)``."""
+    t, p = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(t.astype(np.float64) - p.astype(np.float64))))
+
+
+def normalized_mse(mse: float, reference_mse: float) -> float:
+    """MSE relative to a reference (Figure 7/8): ``mse / reference_mse``."""
+    if mse < 0 or reference_mse <= 0:
+        raise InvalidParameterError(
+            f"require mse ≥ 0 and reference_mse > 0, got {mse}, {reference_mse}"
+        )
+    return float(mse / reference_mse)
+
+
+def normalized_accuracy_error(acc: float, reference_acc: float) -> float:
+    """Section 6.3's ``(1 − α) / (1 − ᾱ)``.
+
+    Equals 1 when the accuracy matches the reference, < 1 when better.
+    Undefined for a perfect reference (``ᾱ = 1``).
+    """
+    if not 0.0 <= acc <= 1.0 or not 0.0 <= reference_acc <= 1.0:
+        raise InvalidParameterError("accuracies must lie in [0, 1]")
+    if reference_acc >= 1.0:
+        raise InvalidParameterError(
+            "normalized accuracy error is undefined for a perfect reference"
+        )
+    return float((1.0 - acc) / (1.0 - reference_acc))

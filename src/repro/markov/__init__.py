@@ -1,0 +1,27 @@
+"""Markov-chain machinery behind Section 4.2 of the paper.
+
+The bit-flip process that motivates scatter codes is an absorbing
+birth–death chain over Hamming-distance states.  This subpackage provides
+the chain itself (:class:`~repro.markov.chain.BirthDeathChain`), the O(K)
+tridiagonal solver (:func:`~repro.markov.tridiagonal.solve_tridiagonal`,
+Thomas algorithm), and the absorption-time computations used by
+:class:`~repro.basis.scatter.ScatterBasis`.
+"""
+
+from .absorption import (
+    absorption_time_profile,
+    expected_absorption_steps,
+    expected_flips_ladder,
+    flips_for_expected_distance,
+)
+from .chain import BirthDeathChain
+from .tridiagonal import solve_tridiagonal
+
+__all__ = [
+    "BirthDeathChain",
+    "solve_tridiagonal",
+    "absorption_time_profile",
+    "expected_absorption_steps",
+    "expected_flips_ladder",
+    "flips_for_expected_distance",
+]

@@ -1,0 +1,121 @@
+"""Expected absorption times of the bit-flip chain (Section 4.2).
+
+The paper models repeated single-bit flips as a Markov chain over Hamming
+distance states and asks: starting from a hypervector ``L_i``, how many
+uniformly random flips ``𭟋`` are expected until the walk first reaches
+Hamming distance ``Δ·d``?  With ``u(k)`` the expected absorption time from
+state ``k`` the recurrence is
+
+* ``u(0) = 1 + u(1)``,
+* ``u(k) = 1 + ((d − k) u(k+1) + k u(k−1)) / d`` for ``0 < k < K``,
+* ``u(K) = 0``,
+
+a tridiagonal linear system of size ``K = Δ·d``.  This module solves it
+three ways (for cross-validation in the tests):
+
+1. :func:`absorption_time_profile` — the O(K) Thomas algorithm on the
+   tridiagonal system (the paper's suggested route, citing Stone [38]),
+2. :func:`expected_flips_ladder` — the birth–death "ladder" closed form,
+3. ``BirthDeathChain.absorption_times_dense`` / ``simulate_absorption`` —
+   dense solve and Monte-Carlo (in :mod:`repro.markov.chain`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .tridiagonal import solve_tridiagonal
+
+__all__ = [
+    "absorption_time_profile",
+    "expected_absorption_steps",
+    "expected_flips_ladder",
+    "flips_for_expected_distance",
+]
+
+
+def _validate(dim: int, target_bits: int) -> tuple[int, int]:
+    if not isinstance(dim, (int, np.integer)) or isinstance(dim, bool) or dim < 1:
+        raise InvalidParameterError(f"dim must be a positive integer, got {dim!r}")
+    if (
+        not isinstance(target_bits, (int, np.integer))
+        or isinstance(target_bits, bool)
+        or not 1 <= target_bits <= dim
+    ):
+        raise InvalidParameterError(
+            f"target_bits must be an integer in [1, {dim}], got {target_bits!r}"
+        )
+    return int(dim), int(target_bits)
+
+
+def absorption_time_profile(dim: int, target_bits: int) -> np.ndarray:
+    """Solve the Section 4.2 system; returns ``u(0), …, u(K − 1)``.
+
+    Row ``0`` encodes ``u(0) − u(1) = 1``; row ``k`` (``0 < k < K``)
+    encodes ``−k·u(k−1) + d·u(k) − (d − k)·u(k+1) = d`` with ``u(K) = 0``
+    folded into the last row.  The system matrix is irreducibly diagonally
+    dominant, so the pivot-free Thomas algorithm is stable here.
+    """
+    dim, target = _validate(dim, target_bits)
+    if target == 1:
+        # From state 0 any flip moves away, so absorption takes exactly 1 step.
+        return np.array([1.0])
+
+    k = np.arange(1, target, dtype=np.float64)  # states 1 … K-1
+    diag = np.concatenate(([1.0], np.full(target - 1, float(dim))))
+    upper = np.concatenate(([-1.0], -(dim - k[:-1]))) if target > 2 else np.array([-1.0])
+    lower = -k
+    rhs = np.concatenate(([1.0], np.full(target - 1, float(dim))))
+    return solve_tridiagonal(lower, diag, upper, rhs)
+
+
+def expected_absorption_steps(dim: int, target_bits: int) -> float:
+    """``𭟋 = u(0)``: expected flips from distance 0 to distance ``target_bits``."""
+    return float(absorption_time_profile(dim, target_bits)[0])
+
+
+def expected_flips_ladder(dim: int, target_bits: int) -> float:
+    """Closed-form cross-check via first-passage ("ladder") times.
+
+    Let ``t_j`` be the expected time for the first passage ``j → j + 1``.
+    Conditioning on the first move gives
+    ``t_j = d / (d − j) + j / (d − j) · t_{j−1}`` with ``t_0 = 1``; the
+    absorption time from 0 is ``u(0) = Σ_{j<K} t_j``.  Algebraically equal
+    to the tridiagonal solution; numerically independent of it.
+    """
+    dim, target = _validate(dim, target_bits)
+    total = 0.0
+    t_prev = 0.0
+    for j in range(target):
+        t_j = (dim + j * t_prev) / (dim - j)
+        total += t_j
+        t_prev = t_j
+    return total
+
+
+def flips_for_expected_distance(dim: int, delta: float) -> float:
+    """Number of i.i.d. random flips giving expected distance ``delta``.
+
+    A subtly different question from absorption time: after ``F``
+    uniformly random flips (with replacement) each bit has been flipped an
+    odd number of times with probability ``(1 − (1 − 2/d)^F)/2``, so
+
+    ``E[δ] = (1 − (1 − 2/d)^F) / 2``  ⇒
+    ``F = ln(1 − 2δ) / ln(1 − 2/d)``.
+
+    The paper's 𭟋 (an *absorption* time) and this ``F`` (an
+    *expectation-matching* flip count) agree closely for small ``δ`` and
+    diverge as ``δ → 1/2`` (where ``F → ∞`` but the absorption time stays
+    finite).  :class:`~repro.basis.scatter.ScatterBasis` offers both.
+    """
+    dim = _validate(dim, 1)[0]
+    if dim < 2:
+        raise InvalidParameterError("dim must be at least 2 for distance matching")
+    if not 0.0 <= delta < 0.5:
+        raise InvalidParameterError(
+            f"delta must lie in [0, 0.5) for a finite flip count, got {delta}"
+        )
+    if delta == 0.0:
+        return 0.0
+    return float(np.log1p(-2.0 * delta) / np.log1p(-2.0 / dim))

@@ -1,0 +1,136 @@
+"""Generic birth–death Markov chains with one absorbing barrier.
+
+The bit-flip process of Section 4.2 is a birth–death chain on Hamming
+distances ``{0, 1/d, …}``: from distance state ``k`` a uniformly random
+single-bit flip moves *away* from the origin with probability
+``(d − k)/d`` and *back* with probability ``k/d``.  This module provides
+the general chain — transition matrix, expected absorption times by dense
+solve, and Monte-Carlo simulation — which the tests use to validate the
+specialised O(n) solver in :mod:`repro.markov.absorption`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import SeedLike, ensure_rng
+from ..exceptions import InvalidParameterError
+
+__all__ = ["BirthDeathChain"]
+
+
+class BirthDeathChain:
+    """Birth–death chain on states ``{0, …, K}`` with ``K`` absorbing.
+
+    Parameters
+    ----------
+    up:
+        ``up[k]`` = probability of moving ``k → k + 1`` for
+        ``k ∈ {0, …, K − 1}``.
+    down:
+        ``down[k]`` = probability of moving ``k → k − 1`` for the same
+        states (``down[0]`` must be 0).  ``up[k] + down[k] ≤ 1``; the
+        remainder is the probability of staying put.
+    """
+
+    def __init__(self, up: np.ndarray, down: np.ndarray) -> None:
+        up = np.asarray(up, dtype=np.float64)
+        down = np.asarray(down, dtype=np.float64)
+        if up.ndim != 1 or up.shape != down.shape or up.size == 0:
+            raise InvalidParameterError(
+                "up and down must be equal-length non-empty 1-D arrays"
+            )
+        if np.any(up < 0) or np.any(down < 0) or np.any(up + down > 1 + 1e-12):
+            raise InvalidParameterError("probabilities must satisfy 0 ≤ up+down ≤ 1")
+        if down[0] != 0:
+            raise InvalidParameterError("down[0] must be 0 (no state below 0)")
+        if np.any(up == 0):
+            # A birth–death walk reaches the barrier only through every
+            # intermediate state, so any zero up-probability blocks it.
+            blocked = np.nonzero(up == 0)[0]
+            raise InvalidParameterError(
+                f"up-probability is zero at state(s) {blocked.tolist()}; "
+                "the absorbing barrier would be unreachable"
+            )
+        self.up = up
+        self.down = down
+
+    @property
+    def num_transient(self) -> int:
+        """Number of transient states (``K``)."""
+        return self.up.size
+
+    def transition_matrix(self) -> np.ndarray:
+        """Full ``(K + 1) × (K + 1)`` row-stochastic matrix, barrier last."""
+        k = self.num_transient
+        mat = np.zeros((k + 1, k + 1), dtype=np.float64)
+        for state in range(k):
+            mat[state, state + 1] = self.up[state]
+            if state > 0:
+                mat[state, state - 1] = self.down[state]
+            mat[state, state] = 1.0 - self.up[state] - self.down[state]
+        mat[k, k] = 1.0
+        return mat
+
+    def absorption_times_dense(self) -> np.ndarray:
+        """Expected steps to absorption from each transient state.
+
+        Solves ``(I − Q) u = 1`` with the dense transient block ``Q`` —
+        O(K³), used as the ground truth the fast tridiagonal path is
+        verified against.
+        """
+        k = self.num_transient
+        q = self.transition_matrix()[:k, :k]
+        return np.linalg.solve(np.eye(k) - q, np.ones(k))
+
+    def simulate_absorption(
+        self, start: int = 0, trials: int = 1000, seed: SeedLike = None,
+        max_steps: int = 10_000_000,
+    ) -> np.ndarray:
+        """Monte-Carlo sample of absorption times from ``start``.
+
+        Returns an array of ``trials`` step counts.  Raises if any
+        trajectory exceeds ``max_steps`` (which signals a mis-specified
+        chain rather than bad luck for the chains used here).
+        """
+        k = self.num_transient
+        if not 0 <= start <= k:
+            raise InvalidParameterError(f"start must be in [0, {k}], got {start}")
+        rng = ensure_rng(seed)
+        times = np.empty(trials, dtype=np.int64)
+        for t in range(trials):
+            state = start
+            steps = 0
+            while state < k:
+                if steps >= max_steps:
+                    raise InvalidParameterError(
+                        f"trajectory exceeded {max_steps} steps; chain appears "
+                        "not to absorb"
+                    )
+                roll = rng.random()
+                if roll < self.up[state]:
+                    state += 1
+                elif roll < self.up[state] + self.down[state]:
+                    state -= 1
+                steps += 1
+            times[t] = steps
+        return times
+
+    @classmethod
+    def bit_flip_chain(cls, dim: int, target_bits: int) -> "BirthDeathChain":
+        """The Section 4.2 chain: Hamming-distance walk under random flips.
+
+        State ``k`` = current Hamming distance (in bits) from the origin
+        hypervector; a uniformly random flip moves up with probability
+        ``(d − k)/d``, down with ``k/d``; state ``target_bits`` absorbs.
+        """
+        if dim < 1:
+            raise InvalidParameterError(f"dim must be positive, got {dim}")
+        if not 1 <= target_bits <= dim:
+            raise InvalidParameterError(
+                f"target_bits must be in [1, {dim}], got {target_bits}"
+            )
+        states = np.arange(target_bits, dtype=np.float64)
+        up = (dim - states) / dim
+        down = states / dim
+        return cls(up, down)

@@ -1,0 +1,102 @@
+"""Tridiagonal linear solver (Thomas algorithm).
+
+Section 4.2 of the paper reduces the expected-absorption-time recurrence
+of the bit-flip Markov chain to "a solvable tridiagonal linear system"
+(citing Stone [38]).  This module implements the O(n) sequential Thomas
+algorithm from scratch; :mod:`repro.markov.absorption` builds the actual
+system and the tests cross-check the solution against a dense
+``numpy.linalg.solve`` and against Monte-Carlo simulation.
+
+The Thomas algorithm is the standard forward-elimination / back-
+substitution scheme.  It does not pivot, so it requires the matrix to be
+nonsingular with nonzero pivots along the sweep — guaranteed for the
+diagonally dominant systems produced by absorbing birth–death chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["solve_tridiagonal"]
+
+
+def solve_tridiagonal(
+    lower: np.ndarray,
+    diag: np.ndarray,
+    upper: np.ndarray,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """Solve ``A x = rhs`` for tridiagonal ``A`` in O(n) time and memory.
+
+    Parameters
+    ----------
+    lower:
+        Sub-diagonal, length ``n − 1`` (``lower[i]`` multiplies ``x[i]`` in
+        row ``i + 1``).
+    diag:
+        Main diagonal, length ``n``.
+    upper:
+        Super-diagonal, length ``n − 1`` (``upper[i]`` multiplies
+        ``x[i + 1]`` in row ``i``).
+    rhs:
+        Right-hand side, length ``n``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Solution vector ``x`` of length ``n`` (float64).
+
+    Raises
+    ------
+    InvalidParameterError
+        On inconsistent lengths or a zero pivot (singular or
+        pivoting-required matrix).
+    """
+    diag = np.asarray(diag, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+
+    n = diag.shape[0]
+    if n == 0:
+        raise InvalidParameterError("empty system")
+    if rhs.shape != (n,):
+        raise InvalidParameterError(f"rhs must have length {n}, got {rhs.shape}")
+    if n == 1:
+        if lower.size or upper.size:
+            raise InvalidParameterError("off-diagonals must be empty for n = 1")
+        if diag[0] == 0:
+            raise InvalidParameterError("singular 1x1 system")
+        return rhs / diag
+    if lower.shape != (n - 1,) or upper.shape != (n - 1,):
+        raise InvalidParameterError(
+            f"off-diagonals must have length {n - 1}, got "
+            f"{lower.shape} and {upper.shape}"
+        )
+
+    # Forward sweep: eliminate the sub-diagonal.
+    c_prime = np.empty(n - 1, dtype=np.float64)
+    d_prime = np.empty(n, dtype=np.float64)
+    beta = diag[0]
+    if beta == 0:
+        raise InvalidParameterError("zero pivot in row 0; Thomas algorithm cannot proceed")
+    c_prime[0] = upper[0] / beta
+    d_prime[0] = rhs[0] / beta
+    for i in range(1, n):
+        beta = diag[i] - lower[i - 1] * c_prime[i - 1]
+        if beta == 0:
+            raise InvalidParameterError(
+                f"zero pivot in row {i}; Thomas algorithm cannot proceed"
+            )
+        if i < n - 1:
+            c_prime[i] = upper[i] / beta
+        d_prime[i] = (rhs[i] - lower[i - 1] * d_prime[i - 1]) / beta
+
+    # Back substitution.
+    x = np.empty(n, dtype=np.float64)
+    x[n - 1] = d_prime[n - 1]
+    for i in range(n - 2, -1, -1):
+        x[i] = d_prime[i] - c_prime[i] * x[i + 1]
+    return x

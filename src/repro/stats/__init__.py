@@ -1,0 +1,51 @@
+"""Directional-statistics substrate (Section 5 background).
+
+Circular data require their own statistical toolkit — the subdiscipline
+the paper cites as directional statistics [29, 32].  This subpackage
+implements the pieces the reproduction needs: angle wrapping and
+time-to-angle conversion, circular distances (including the paper's ρ),
+descriptive statistics (circular mean/variance), the von Mises and
+wrapped-normal distributions, and circular–linear association measures.
+"""
+
+from .angles import (
+    TWO_PI,
+    angle_to_time,
+    degrees_to_radians,
+    radians_to_degrees,
+    time_to_angle,
+    wrap_angle,
+    wrap_angle_signed,
+)
+from .correlation import circular_circular_correlation, circular_linear_correlation
+from .descriptive import (
+    circular_mean,
+    circular_range,
+    circular_std,
+    circular_variance,
+    resultant_length,
+)
+from .distance import arc_distance, chord_distance, circular_distance
+from .distributions import VonMises, WrappedNormal
+
+__all__ = [
+    "TWO_PI",
+    "wrap_angle",
+    "wrap_angle_signed",
+    "time_to_angle",
+    "angle_to_time",
+    "degrees_to_radians",
+    "radians_to_degrees",
+    "circular_distance",
+    "arc_distance",
+    "chord_distance",
+    "circular_mean",
+    "resultant_length",
+    "circular_variance",
+    "circular_std",
+    "circular_range",
+    "VonMises",
+    "WrappedNormal",
+    "circular_linear_correlation",
+    "circular_circular_correlation",
+]

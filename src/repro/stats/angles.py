@@ -1,0 +1,75 @@
+"""Angle wrapping and unit conversions for circular data.
+
+Circular data are "derived from the measurement of directions, usually
+expressed as an angle from a fixed reference direction" (Section 1), and
+commonly arise from periodic time measurements — hours of a day, days of a
+year, orbital anomalies.  These helpers normalise all of them to radians.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "TWO_PI",
+    "wrap_angle",
+    "wrap_angle_signed",
+    "time_to_angle",
+    "angle_to_time",
+    "degrees_to_radians",
+    "radians_to_degrees",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+def wrap_angle(theta: np.ndarray | float) -> np.ndarray:
+    """Wrap angle(s) into the fundamental interval ``[0, 2π)``.
+
+    Guards against the floating-point edge where ``mod`` of a tiny
+    negative angle rounds to exactly ``2π`` (outside the half-open
+    interval).
+    """
+    wrapped = np.mod(np.asarray(theta, dtype=np.float64), TWO_PI)
+    return np.where(wrapped >= TWO_PI, 0.0, wrapped)
+
+
+def wrap_angle_signed(theta: np.ndarray | float) -> np.ndarray:
+    """Wrap angle(s) into the signed interval ``[−π, π)``."""
+    shifted = np.mod(np.asarray(theta, dtype=np.float64) + math.pi, TWO_PI)
+    shifted = np.where(shifted >= TWO_PI, 0.0, shifted)
+    return shifted - math.pi
+
+
+def time_to_angle(value: np.ndarray | float, period: float) -> np.ndarray:
+    """Convert a periodic time measurement to an angle in ``[0, 2π)``.
+
+    ``time_to_angle(hour, 24)`` maps hours of a day onto the circle;
+    ``time_to_angle(day_of_year, 365.2425)`` maps days of a year — the
+    "proxies of angular values" the Beijing experiment builds on
+    (Section 6.2).
+    """
+    if period <= 0 or not math.isfinite(period):
+        raise InvalidParameterError(f"period must be positive and finite, got {period}")
+    return wrap_angle(np.asarray(value, dtype=np.float64) / period * TWO_PI)
+
+
+def angle_to_time(theta: np.ndarray | float, period: float) -> np.ndarray:
+    """Inverse of :func:`time_to_angle`: angle back to ``[0, period)``."""
+    if period <= 0 or not math.isfinite(period):
+        raise InvalidParameterError(f"period must be positive and finite, got {period}")
+    return wrap_angle(theta) / TWO_PI * period
+
+
+def degrees_to_radians(degrees: np.ndarray | float) -> np.ndarray:
+    """Degrees → radians (vectorised)."""
+    return np.asarray(degrees, dtype=np.float64) * math.pi / 180.0
+
+
+def radians_to_degrees(radians: np.ndarray | float) -> np.ndarray:
+    """Radians → degrees (vectorised)."""
+    return np.asarray(radians, dtype=np.float64) * 180.0 / math.pi

@@ -1,0 +1,94 @@
+"""Descriptive directional statistics (Mardia & Jupp; Fisher).
+
+The arithmetic mean is meaningless for angles (the "mean" of 1° and 359°
+is not 180°); directional statistics instead embeds angles on the unit
+circle and works with the resultant vector.  These estimators are the
+standard toolkit the synthetic-dataset generators and tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "circular_mean",
+    "resultant_length",
+    "circular_variance",
+    "circular_std",
+    "circular_range",
+]
+
+
+def _angles(theta: np.ndarray | list, weights: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
+    arr = np.asarray(theta, dtype=np.float64)
+    if arr.size == 0:
+        raise InvalidParameterError("need at least one angle")
+    if weights is None:
+        w = np.ones_like(arr)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != arr.shape:
+            raise InvalidParameterError(
+                f"weights shape {w.shape} must match angles shape {arr.shape}"
+            )
+        if np.any(w < 0) or w.sum() == 0:
+            raise InvalidParameterError("weights must be non-negative with positive sum")
+    return arr, w
+
+
+def circular_mean(theta: np.ndarray | list, weights: np.ndarray | None = None) -> float:
+    """Mean direction: the angle of the (weighted) resultant vector.
+
+    Undefined when the resultant vanishes (perfectly balanced angles);
+    in that degenerate case the implementation returns the ``arctan2``
+    of a zero vector, which numpy defines as 0.
+    """
+    arr, w = _angles(theta, weights)
+    sin_sum = float(np.sum(w * np.sin(arr)))
+    cos_sum = float(np.sum(w * np.cos(arr)))
+    return float(np.mod(np.arctan2(sin_sum, cos_sum), 2.0 * np.pi))
+
+
+def resultant_length(theta: np.ndarray | list, weights: np.ndarray | None = None) -> float:
+    """Mean resultant length ``R̄ ∈ [0, 1]``: 1 = all aligned, 0 = balanced."""
+    arr, w = _angles(theta, weights)
+    total = float(np.sum(w))
+    sin_sum = float(np.sum(w * np.sin(arr)))
+    cos_sum = float(np.sum(w * np.cos(arr)))
+    return float(np.hypot(sin_sum, cos_sum) / total)
+
+
+def circular_variance(theta: np.ndarray | list, weights: np.ndarray | None = None) -> float:
+    """Circular variance ``V = 1 − R̄ ∈ [0, 1]``."""
+    return 1.0 - resultant_length(theta, weights)
+
+
+def circular_std(theta: np.ndarray | list, weights: np.ndarray | None = None) -> float:
+    """Circular standard deviation ``√(−2 ln R̄)`` (radians).
+
+    Diverges as the sample approaches a balanced configuration
+    (``R̄ → 0``); equals 0 for perfectly aligned angles.
+    """
+    r = resultant_length(theta, weights)
+    if r <= 1e-12:  # balanced up to floating-point residue
+        return float("inf")
+    return float(np.sqrt(-2.0 * np.log(r)))
+
+
+def circular_range(theta: np.ndarray | list) -> float:
+    """Smallest arc containing every sample angle (radians, ``[0, 2π)``).
+
+    Computed by sorting the wrapped angles and subtracting the largest
+    gap between consecutive points from the full circle.
+    """
+    arr = np.sort(np.mod(np.asarray(theta, dtype=np.float64), 2.0 * np.pi))
+    if arr.size == 0:
+        raise InvalidParameterError("need at least one angle")
+    if arr.size == 1:
+        return 0.0
+    gaps = np.diff(arr)
+    wrap_gap = 2.0 * np.pi - arr[-1] + arr[0]
+    largest = max(float(gaps.max()), float(wrap_gap))
+    return float(2.0 * np.pi - largest)

@@ -1,0 +1,44 @@
+"""Distance measures on the circle.
+
+The paper adopts Lund's normalized circular distance (Section 5)
+
+``ρ(α, β) = (1 − cos(α − β)) / 2  ∈ [0, 1]``
+
+as the ground-truth notion circular-hypervectors should mirror:
+``E[δ(C_i, C_j)] = ρ(θ_i, θ_j) / 2``.  Alongside it we provide the arc
+(geodesic) distance, which is the metric the two-phase construction
+realises exactly (see :mod:`repro.basis.circular`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["circular_distance", "arc_distance", "chord_distance"]
+
+
+def circular_distance(alpha: np.ndarray | float, beta: np.ndarray | float) -> np.ndarray:
+    """Lund's normalized circular distance ``ρ(α, β) = (1 − cos(α − β))/2``.
+
+    Ranges over ``[0, 1]``: 0 for identical directions, 1 for opposite
+    ones.  Equivalent to half the squared chord length between the two
+    points on the unit circle (``ρ = |e^{iα} − e^{iβ}|² / 4``).
+    """
+    a = np.asarray(alpha, dtype=np.float64)
+    b = np.asarray(beta, dtype=np.float64)
+    return (1.0 - np.cos(a - b)) / 2.0
+
+
+def arc_distance(alpha: np.ndarray | float, beta: np.ndarray | float) -> np.ndarray:
+    """Geodesic (shortest-arc) angular separation in radians, in ``[0, π]``."""
+    a = np.asarray(alpha, dtype=np.float64)
+    b = np.asarray(beta, dtype=np.float64)
+    diff = np.abs(np.mod(a - b, 2.0 * math.pi))
+    return np.minimum(diff, 2.0 * math.pi - diff)
+
+
+def chord_distance(alpha: np.ndarray | float, beta: np.ndarray | float) -> np.ndarray:
+    """Euclidean chord length between two points on the unit circle, in ``[0, 2]``."""
+    return 2.0 * np.sin(arc_distance(alpha, beta) / 2.0)

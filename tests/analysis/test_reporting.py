@@ -1,0 +1,62 @@
+"""Tests for the plain-text table and heatmap renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_float, format_table, render_heatmap
+from repro.exceptions import InvalidParameterError
+
+
+class TestFormatTable:
+    def test_basic_structure(self):
+        out = format_table(["a", "bb"], [[1, 2.0], ["x", 3.14159]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1] or "-" in lines[1]
+        assert "3.142" in lines[-1]
+
+    def test_title(self):
+        out = format_table(["col"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = out.splitlines()
+        assert lines[-1].index("22") == lines[-2].index("1")
+
+    def test_digits(self):
+        out = format_table(["v"], [[1.23456]], digits=1)
+        assert "1.2" in out and "1.23" not in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        assert format_float(0.123456, 2) == "0.12"
+
+
+class TestRenderHeatmap:
+    def test_dimensions(self):
+        art = render_heatmap(np.zeros((3, 4)))
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 8 for line in lines)  # 2 chars per cell
+
+    def test_extremes_use_ramp_ends(self):
+        art = render_heatmap(np.array([[0.0, 1.0]]))
+        assert art[0] == " " and art[-1] == "@"
+
+    def test_custom_range_clips(self):
+        art = render_heatmap(np.array([[0.0, 2.0]]), vmin=0.0, vmax=1.0)
+        assert art[-1] == "@"
+
+    def test_constant_matrix(self):
+        art = render_heatmap(np.full((2, 2), 0.7))
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(InvalidParameterError):
+            render_heatmap(np.zeros(5))

@@ -1,0 +1,102 @@
+"""Tests for the bit-corruption robustness analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import classifier_robustness_curve, flip_bits
+from repro.exceptions import InvalidParameterError
+from repro.hdc import hamming_distance, random_hypervectors
+from repro.learning import CentroidClassifier
+
+DIM = 2048
+
+
+class TestFlipBits:
+    def test_exact_fraction_flipped(self, rng):
+        hv = random_hypervectors(1, 1000, rng)[0]
+        noisy = flip_bits(hv, 0.2, seed=0)
+        assert int((noisy != hv).sum()) == 200
+
+    def test_zero_fraction_identity(self, rng):
+        hv = random_hypervectors(3, DIM, rng)
+        np.testing.assert_array_equal(flip_bits(hv, 0.0, seed=0), hv)
+
+    def test_full_fraction_complements(self, rng):
+        hv = random_hypervectors(1, DIM, rng)[0]
+        np.testing.assert_array_equal(flip_bits(hv, 1.0, seed=0), 1 - hv)
+
+    def test_original_untouched(self, rng):
+        hv = random_hypervectors(1, DIM, rng)[0]
+        copy = hv.copy()
+        flip_bits(hv, 0.3, seed=0)
+        np.testing.assert_array_equal(hv, copy)
+
+    def test_batch_rows_flipped_independently(self, rng):
+        hvs = random_hypervectors(2, DIM, rng)
+        noisy = flip_bits(hvs, 0.1, seed=0)
+        diff0 = np.flatnonzero(noisy[0] != hvs[0])
+        diff1 = np.flatnonzero(noisy[1] != hvs[1])
+        assert diff0.size == diff1.size == round(0.1 * DIM)
+        assert not np.array_equal(diff0, diff1)
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(InvalidParameterError):
+            flip_bits(random_hypervectors(1, 64, rng)[0], 1.5)
+
+
+@pytest.fixture
+def trained(rng):
+    prototypes = random_hypervectors(5, DIM, rng)
+    samples, labels = [], []
+    for cls in range(5):
+        for _ in range(20):
+            hv = prototypes[cls].copy()
+            flips = rng.choice(DIM, size=DIM // 20, replace=False)
+            hv[flips] ^= 1
+            samples.append(hv)
+            labels.append(cls)
+    encoded = np.stack(samples)
+    clf = CentroidClassifier(DIM, seed=0).fit(encoded, labels)
+    return clf, encoded, labels
+
+
+class TestRobustnessCurve:
+    def test_graceful_degradation_of_queries(self, trained):
+        clf, encoded, labels = trained
+        curve = classifier_robustness_curve(
+            clf, encoded, labels, fractions=(0.0, 0.1, 0.3, 0.5), seed=1
+        )
+        assert curve[0.0] == 1.0
+        assert curve[0.1] > 0.95          # the holographic robustness claim
+        assert curve[0.5] < 0.5           # chance-ish at 50 % corruption
+        assert curve[0.3] >= curve[0.5]
+
+    def test_model_corruption_target(self, trained):
+        clf, encoded, labels = trained
+        curve = classifier_robustness_curve(
+            clf, encoded, labels, fractions=(0.0, 0.1), target="model", seed=2
+        )
+        assert curve[0.0] == 1.0
+        assert curve[0.1] > 0.9
+
+    def test_monotone_trend_overall(self, trained):
+        clf, encoded, labels = trained
+        curve = classifier_robustness_curve(
+            clf, encoded, labels, fractions=(0.0, 0.2, 0.4), seed=3
+        )
+        values = list(curve.values())
+        assert values[0] >= values[1] >= values[2]
+
+    def test_invalid_target(self, trained):
+        clf, encoded, labels = trained
+        with pytest.raises(InvalidParameterError):
+            classifier_robustness_curve(clf, encoded, labels, target="weights")
+
+    def test_distance_shift_matches_theory(self, rng):
+        """Flipping a fraction p of one operand moves the expected
+        distance from δ to δ(1−p) + (1−δ)p."""
+        a = random_hypervectors(1, 50_000, rng)[0]
+        noisy = flip_bits(a, 0.2, seed=4)
+        assert float(hamming_distance(a, noisy)) == pytest.approx(0.2, abs=0.01)

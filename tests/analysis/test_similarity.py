@@ -1,0 +1,80 @@
+"""Tests for the Figure 3 / Figure 6 analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    basis_similarity_matrix,
+    figure3_data,
+    figure6_data,
+    reference_similarity_profile,
+)
+from repro.exceptions import InvalidParameterError
+
+DIM = 8192
+
+
+class TestFigure3:
+    def test_kinds_present(self):
+        data = figure3_data(size=8, dim=DIM, seed=0)
+        assert set(data) == {"random", "level", "circular"}
+        for matrix in data.values():
+            assert matrix.shape == (8, 8)
+
+    def test_diagonals_are_one(self):
+        data = figure3_data(size=6, dim=DIM, seed=1)
+        for matrix in data.values():
+            np.testing.assert_allclose(np.diagonal(matrix), 1.0)
+
+    def test_random_offdiagonal_near_half(self):
+        matrix = figure3_data(size=8, dim=DIM, seed=2)["random"]
+        off = matrix[~np.eye(8, dtype=bool)]
+        assert np.abs(off - 0.5).max() < 0.05
+
+    def test_level_gradient_structure(self):
+        """Level similarity decreases monotonically away from the diagonal."""
+        matrix = figure3_data(size=8, dim=DIM, seed=3)["level"]
+        row = matrix[0]
+        assert all(b < a for a, b in zip(row, row[1:]))
+
+    def test_circular_wraps(self):
+        """Circular similarity rises again past the opposite point."""
+        matrix = figure3_data(size=8, dim=DIM, seed=4)["circular"]
+        row = matrix[0]
+        assert row[4] == pytest.approx(0.5, abs=0.05)  # opposite
+        assert row[7] > row[4]  # wraps back up
+        assert row[1] == pytest.approx(row[7], abs=0.05)  # symmetry
+
+
+class TestFigure6:
+    def test_r_values_present(self):
+        data = figure6_data(r_values=(0.0, 0.5, 1.0), size=10, dim=DIM, seed=5)
+        assert set(data) == {0.0, 0.5, 1.0}
+        for profile in data.values():
+            assert profile.shape == (10,)
+            assert profile[0] == pytest.approx(1.0)
+
+    def test_r_zero_preserves_neighbourhood(self):
+        data = figure6_data(r_values=(0.0, 1.0), size=10, dim=DIM, seed=6)
+        assert data[0.0][1] > 0.85
+        assert abs(data[1.0][1] - 0.5) < 0.05
+
+    def test_intermediate_r_between(self):
+        data = figure6_data(r_values=(0.0, 0.5, 1.0), size=10, dim=DIM, seed=7)
+        assert data[1.0][1] < data[0.5][1] < data[0.0][1]
+
+    def test_profile_reference_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            reference_similarity_profile(10, DIM, 0.0, reference=10)
+
+
+class TestBasisSimilarityMatrix:
+    def test_delegates_to_make_basis(self):
+        matrix = basis_similarity_matrix("circular", 6, DIM, seed=8)
+        assert matrix.shape == (6, 6)
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidParameterError):
+            basis_similarity_matrix("hexagonal", 6, DIM)

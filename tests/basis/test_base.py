@@ -1,0 +1,123 @@
+"""Tests for the BasisSet / Embedding framework and the factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import (
+    CircularBasis,
+    CircularDiscretizer,
+    Embedding,
+    LegacyLevelBasis,
+    LevelBasis,
+    LinearDiscretizer,
+    RandomBasis,
+    ScatterBasis,
+    make_basis,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestEmbedding:
+    def test_size_mismatch_rejected(self):
+        basis = RandomBasis(8, 64, seed=0)
+        with pytest.raises(InvalidParameterError):
+            Embedding(basis, LinearDiscretizer(0, 1, 9))
+
+    def test_encode_scalar_and_batch(self):
+        basis = LevelBasis(10, 128, seed=1)
+        emb = Embedding(basis, LinearDiscretizer(0.0, 9.0, 10))
+        assert emb.encode(3.0).shape == (128,)
+        assert emb.encode(np.array([0.0, 4.0, 9.0])).shape == (3, 128)
+
+    def test_encode_picks_nearest_member(self):
+        basis = LevelBasis(5, 128, seed=2)
+        emb = Embedding(basis, LinearDiscretizer(0.0, 4.0, 5))
+        np.testing.assert_array_equal(emb.encode(2.2), basis[2])
+
+    def test_decode_inverts_encode(self):
+        basis = LevelBasis(20, 4096, seed=3)
+        emb = Embedding(basis, LinearDiscretizer(-10.0, 10.0, 20))
+        values = np.array([-10.0, -3.2, 0.0, 7.9, 10.0])
+        decoded = emb.decode(emb.encode(values))
+        grid_step = 20.0 / 19
+        assert np.abs(decoded - values).max() <= grid_step / 2 + 1e-9
+
+    def test_decode_noisy_hypervector(self, rng):
+        basis = LevelBasis(10, 8192, seed=4)
+        emb = Embedding(basis, LinearDiscretizer(0.0, 9.0, 10))
+        hv = emb.encode(6.0).copy()
+        flips = rng.choice(8192, size=100, replace=False)
+        hv[flips] ^= 1
+        assert float(emb.decode(hv)) == pytest.approx(6.0)
+
+    def test_decode_single_shape(self):
+        basis = RandomBasis(4, 64, seed=5)
+        emb = Embedding(basis, LinearDiscretizer(0.0, 3.0, 4))
+        assert np.isscalar(float(emb.decode(basis[1])))
+
+    def test_indices_delegate_to_discretizer(self):
+        basis = CircularBasis(12, 64, seed=6)
+        emb = Embedding(basis, CircularDiscretizer(12, period=12.0))
+        assert emb.indices(11.6) == 0  # wraps
+
+    def test_len_and_dim(self):
+        basis = RandomBasis(7, 32, seed=7)
+        emb = basis.linear_embedding(0, 1)
+        assert len(emb) == 7
+        assert emb.dim == 32
+
+
+class TestMakeBasis:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("random", RandomBasis),
+            ("level", LevelBasis),
+            ("level-legacy", LegacyLevelBasis),
+            ("legacy", LegacyLevelBasis),
+            ("circular", CircularBasis),
+            ("scatter", ScatterBasis),
+        ],
+    )
+    def test_dispatch(self, kind, cls):
+        basis = make_basis(kind, 6, 64, seed=0)
+        assert isinstance(basis, cls)
+        assert len(basis) == 6 and basis.dim == 64
+
+    def test_case_insensitive(self):
+        assert isinstance(make_basis("Circular", 4, 32, seed=1), CircularBasis)
+
+    def test_r_passthrough(self):
+        basis = make_basis("level", 6, 64, r=0.5, seed=2)
+        assert basis.r == 0.5
+
+    @pytest.mark.parametrize("kind", ["random", "legacy", "scatter"])
+    def test_r_rejected_where_inapplicable(self, kind):
+        with pytest.raises(InvalidParameterError):
+            make_basis(kind, 6, 64, r=0.5)
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidParameterError):
+            make_basis("fourier", 6, 64)
+
+
+class TestBasisSetValidation:
+    def test_vectors_must_be_matrix(self):
+        from repro.basis.base import BasisSet
+
+        class Dummy(BasisSet):
+            def expected_distance(self, i, j):  # pragma: no cover
+                return 0.0
+
+        with pytest.raises(InvalidParameterError):
+            Dummy(np.zeros(8, dtype=np.uint8))
+
+    def test_distance_helper(self):
+        basis = RandomBasis(3, 2048, seed=8)
+        assert basis.distance(0, 0) == 0.0
+        assert 0.0 < basis.distance(0, 1) < 1.0
+
+    def test_repr(self):
+        assert "RandomBasis" in repr(RandomBasis(3, 16, seed=9))

@@ -1,0 +1,205 @@
+"""Tests for the interpolation-based level-hypervectors (Algorithm 1).
+
+The central check is Proposition 4.1: for a freshly generated set the
+empirical pairwise distance must match ``Δ_{i,j} = (j − i)/(2(m − 1))``
+within the binomial concentration bound at the test dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis import LevelBasis, PROFILES
+from repro.exceptions import InvalidParameterError
+from tests.conftest import binomial_tolerance
+
+DIM = 30_000  # large enough for tight statistical tolerances, still fast
+
+
+class TestProposition41:
+    """E[δ(L_i, L_j)] = Δ_{i,j} (the paper's Proposition 4.1)."""
+
+    @pytest.mark.parametrize("size", [2, 3, 5, 12])
+    def test_expected_distances(self, size):
+        basis = LevelBasis(size, DIM, seed=size)
+        tol = binomial_tolerance(DIM)
+        emp = basis.distance_matrix()
+        exp = basis.expected_distance_matrix()
+        assert np.abs(emp - exp).max() < tol
+
+    def test_delta_formula(self):
+        basis = LevelBasis(11, 64, seed=0)
+        for i in range(11):
+            for j in range(i, 11):
+                assert basis.expected_distance(i, j) == pytest.approx(
+                    (j - i) / (2 * 10)
+                )
+
+    def test_endpoints_quasi_orthogonal(self):
+        basis = LevelBasis(8, DIM, seed=1)
+        assert basis.distance(0, 7) == pytest.approx(0.5, abs=binomial_tolerance(DIM))
+
+    def test_monotone_from_anchor(self):
+        basis = LevelBasis(16, DIM, seed=2)
+        distances = [basis.distance(0, j) for j in range(16)]
+        # Expected spacing between consecutive distances is 1/30; the 5σ
+        # binomial noise at DIM is ~0.014, so strict monotonicity holds
+        # with margin at this dimension.
+        assert all(b > a for a, b in zip(distances, distances[1:]))
+
+    def test_symmetry(self):
+        basis = LevelBasis(6, 256, seed=3)
+        assert basis.expected_distance(1, 4) == basis.expected_distance(4, 1)
+
+    def test_distances_are_stochastic_not_exact(self):
+        """The point of Algorithm 1: distances hold in expectation only.
+
+        Two independently generated sets should realise slightly different
+        distances (unlike the legacy construction, which is deterministic
+        given the flip plan).
+        """
+        d1 = LevelBasis(5, 4096, seed=10).distance(0, 2)
+        d2 = LevelBasis(5, 4096, seed=11).distance(0, 2)
+        assert d1 != d2
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        a = LevelBasis(7, 512, seed=9)
+        b = LevelBasis(7, 512, seed=9)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+    def test_intermediate_bits_come_from_anchors(self):
+        basis = LevelBasis(9, 2048, seed=4)
+        first, last = basis[0], basis[8]
+        for level in range(1, 8):
+            from_anchors = (basis[level] == first) | (basis[level] == last)
+            assert from_anchors.all()
+
+    def test_interpolation_is_monotone_per_bit(self):
+        """Once a bit switches from L_1's value to L_m's, it never switches back."""
+        basis = LevelBasis(10, 2048, seed=5)
+        first, last = basis[0], basis[9]
+        informative = first != last
+        switched = np.zeros(basis.dim, dtype=bool)
+        for level in range(1, 10):
+            now_last = basis[level] == last
+            # A bit that switched earlier must still be switched.
+            assert (now_last | ~switched)[informative].all()
+            switched |= now_last
+
+    @pytest.mark.parametrize("size", [0, 1])
+    def test_too_small(self, size):
+        with pytest.raises(InvalidParameterError):
+            LevelBasis(size, 64)
+
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            LevelBasis(4, 0)
+
+    @pytest.mark.parametrize("r", [-0.1, 1.1, float("nan")])
+    def test_invalid_r(self, r):
+        with pytest.raises(InvalidParameterError):
+            LevelBasis(4, 64, r=r)
+
+
+class TestRValue:
+    """Section 5.2: interpolation between level and random sets."""
+
+    def test_r_zero_is_algorithm_one(self):
+        basis = LevelBasis(8, 64, r=0.0, seed=6)
+        assert basis.transitions_per_subset == 7.0
+
+    def test_r_one_transitions(self):
+        basis = LevelBasis(8, 64, r=1.0, seed=6)
+        assert basis.transitions_per_subset == 1.0
+
+    def test_r_one_is_random_set(self):
+        basis = LevelBasis(10, DIM, r=1.0, seed=7)
+        tol = binomial_tolerance(DIM)
+        off_diagonal = ~np.eye(10, dtype=bool)
+        emp = basis.distance_matrix()[off_diagonal]
+        assert np.abs(emp - 0.5).max() < tol
+
+    @pytest.mark.parametrize("r", [0.1, 0.5, 0.9])
+    def test_intermediate_r_matches_theory(self, r):
+        basis = LevelBasis(9, DIM, r=r, seed=8)
+        tol = binomial_tolerance(DIM)
+        emp = basis.distance_matrix()
+        exp = basis.expected_distance_matrix()
+        assert np.abs(emp - exp).max() < tol
+
+    def test_neighbour_distance_grows_with_r(self):
+        """More r = less correlation preserved between neighbours."""
+        expected = [
+            LevelBasis(10, 64, r=r, seed=1).expected_distance(4, 5)
+            for r in (0.0, 0.3, 0.6, 1.0)
+        ]
+        assert all(b > a for a, b in zip(expected, expected[1:]))
+
+    def test_r_one_neighbour_expectation_is_half(self):
+        basis = LevelBasis(6, 64, r=1.0, seed=1)
+        assert basis.expected_distance(2, 3) == pytest.approx(0.5)
+
+
+class TestProfiles:
+    """Threshold-warp profiles (library extension beyond the paper)."""
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_named_profiles_match_theory(self, name):
+        basis = LevelBasis(9, DIM, profile=name, seed=12)
+        tol = binomial_tolerance(DIM)
+        emp = basis.distance_matrix()
+        exp = basis.expected_distance_matrix()
+        assert np.abs(emp - exp).max() < tol
+
+    def test_linear_profile_equals_default(self):
+        assert LevelBasis(5, 64, profile="linear", seed=3).expected_distance(
+            0, 2
+        ) == pytest.approx(LevelBasis(5, 64, seed=3).expected_distance(0, 2))
+
+    def test_quadratic_profile_shape(self):
+        basis = LevelBasis(5, 64, profile="quadratic", seed=3)
+        # g(u) = u²: expected distance from index 0 to l is u_l²/2,
+        # with u_2 = 2/4 = 0.5.
+        assert basis.expected_distance(0, 2) == pytest.approx(0.5**2 / 2)
+        assert basis.expected_distance(0, 4) == pytest.approx(0.5)
+
+    def test_callable_profile(self):
+        basis = LevelBasis(5, 1024, profile=lambda u: u**3, seed=4)
+        assert basis.expected_distance(0, 4) == pytest.approx(0.5)
+        assert basis.profile_name == "<callable>"
+
+    def test_profile_with_r_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LevelBasis(5, 64, r=0.5, profile="sqrt")
+
+    def test_unknown_profile(self):
+        with pytest.raises(InvalidParameterError):
+            LevelBasis(5, 64, profile="bogus")
+
+    def test_non_monotone_profile_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LevelBasis(5, 64, profile=lambda u: np.where(u < 0.5, u, 1.0 - u + 1.0))
+
+    def test_profile_must_hit_endpoints(self):
+        with pytest.raises(InvalidParameterError):
+            LevelBasis(5, 64, profile=lambda u: 0.5 * u)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    size=st.integers(min_value=2, max_value=12),
+    r=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_expected_distance_in_range(size, r, seed):
+    """Expected distances always lie in [0, 1/2] and vanish on the diagonal."""
+    basis = LevelBasis(size, 64, r=r, seed=seed)
+    matrix = basis.expected_distance_matrix()
+    assert (matrix >= -1e-12).all()
+    assert (matrix <= 0.5 + 1e-12).all()
+    assert np.abs(np.diagonal(matrix)).max() < 1e-12

@@ -1,0 +1,102 @@
+"""Tests for the legacy (sequential-flip) level-hypervectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import LegacyLevelBasis, LevelBasis
+from repro.exceptions import InvalidParameterError
+
+
+class TestLegacyLevelBasis:
+    def test_distances_are_exact(self):
+        """The defining property the paper criticises: realized distances
+        equal their nominal values exactly, not just in expectation."""
+        basis = LegacyLevelBasis(8, 4096, seed=0)
+        emp = basis.distance_matrix()
+        exp = basis.expected_distance_matrix()
+        np.testing.assert_allclose(emp, exp, atol=1e-12)
+
+    def test_endpoints_exactly_orthogonal(self):
+        basis = LegacyLevelBasis(6, 1000, seed=1)
+        assert basis.distance(0, 5) == pytest.approx(0.5)
+
+    def test_distances_deterministic_across_seeds(self):
+        """Different random draws realise identical distance structure."""
+        a = LegacyLevelBasis(7, 2048, seed=2).distance_matrix()
+        b = LegacyLevelBasis(7, 2048, seed=3).distance_matrix()
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_nearly_linear_spacing(self):
+        basis = LegacyLevelBasis(11, 10_000, seed=4)
+        for j in range(11):
+            assert basis.distance(0, j) == pytest.approx(j / 20, abs=1e-3)
+
+    def test_flips_never_unflipped(self):
+        basis = LegacyLevelBasis(9, 1024, seed=5)
+        first = basis[0]
+        flipped = np.zeros(1024, dtype=bool)
+        for level in range(1, 9):
+            now = basis[level] != first
+            assert (now | ~flipped).all()  # once flipped, stays flipped
+            flipped = now
+
+    def test_cumulative_flips(self):
+        basis = LegacyLevelBasis(5, 1000, seed=6)
+        cum = basis.cumulative_flips
+        assert cum[0] == 0
+        assert cum[-1] == 500
+        assert (np.diff(cum) > 0).all()
+
+    def test_reproducible(self):
+        a = LegacyLevelBasis(5, 256, seed=7)
+        b = LegacyLevelBasis(5, 256, seed=7)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+    @pytest.mark.parametrize("size,dim", [(1, 64), (4, 1)])
+    def test_invalid_parameters(self, size, dim):
+        with pytest.raises(InvalidParameterError):
+            LegacyLevelBasis(size, dim)
+
+
+class TestLegacyVersusInterpolated:
+    """The Section 4 comparison: same nominal geometry, different entropy."""
+
+    def test_same_nominal_distances(self):
+        legacy = LegacyLevelBasis(9, 8192, seed=8)
+        modern = LevelBasis(9, 8192, seed=8)
+        np.testing.assert_allclose(
+            legacy.expected_distance_matrix(),
+            modern.expected_distance_matrix(),
+            atol=2e-3,  # legacy rounds flips to integers
+        )
+
+    def test_legacy_pattern_counts_are_deterministic(self):
+        """The Section 4.1 entropy gap in observable form.
+
+        Both constructions emit monotone step-function columns, so their
+        pattern *supports* coincide; the legacy generator, however, fixes
+        the exact number of columns per step position (the flip blocks),
+        while Algorithm 1 draws them multinomially.  Hence the sorted
+        pattern-count multiset is identical across legacy seeds but varies
+        across interpolated seeds — far fewer possible outcomes, i.e.
+        lower generation entropy.
+        """
+        dim = 8192
+
+        def count_multiset(vectors: np.ndarray) -> tuple[int, ...]:
+            # Group columns by step position irrespective of polarity by
+            # XOR-ing against the first level.
+            relative = np.bitwise_xor(vectors, vectors[0:1])
+            weights = (1 << np.arange(vectors.shape[0], dtype=np.int64))[:, None]
+            codes = (relative.astype(np.int64) * weights).sum(axis=0)
+            _, counts = np.unique(codes, return_counts=True)
+            return tuple(sorted(counts.tolist()))
+
+        legacy_a = count_multiset(LegacyLevelBasis(9, dim, seed=9).vectors)
+        legacy_b = count_multiset(LegacyLevelBasis(9, dim, seed=10).vectors)
+        modern_a = count_multiset(LevelBasis(9, dim, seed=9).vectors)
+        modern_b = count_multiset(LevelBasis(9, dim, seed=10).vectors)
+        assert legacy_a == legacy_b
+        assert modern_a != modern_b

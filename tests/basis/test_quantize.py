@@ -1,0 +1,143 @@
+"""Tests for the linear and circular discretizers (the ξ-grids)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis import CircularDiscretizer, LinearDiscretizer
+from repro.exceptions import EncodingDomainError, InvalidParameterError
+
+TWO_PI = 2.0 * math.pi
+
+
+class TestLinearDiscretizer:
+    def test_points_match_paper_formula(self):
+        disc = LinearDiscretizer(0.0, 10.0, 6)
+        np.testing.assert_allclose(disc.points, [0, 2, 4, 6, 8, 10])
+
+    def test_endpoints_map_to_extremes(self):
+        disc = LinearDiscretizer(-1.0, 1.0, 5)
+        assert disc.index(-1.0) == 0
+        assert disc.index(1.0) == 4
+
+    def test_nearest_point_selection(self):
+        disc = LinearDiscretizer(0.0, 10.0, 11)
+        assert disc.index(3.4) == 3
+        assert disc.index(3.6) == 4
+
+    def test_vectorised(self):
+        disc = LinearDiscretizer(0.0, 1.0, 3)
+        np.testing.assert_array_equal(disc.index([0.0, 0.5, 1.0]), [0, 1, 2])
+
+    def test_clip_mode(self):
+        disc = LinearDiscretizer(0.0, 1.0, 5, clip=True)
+        assert disc.index(-3.0) == 0
+        assert disc.index(42.0) == 4
+
+    def test_strict_mode_raises(self):
+        disc = LinearDiscretizer(0.0, 1.0, 5, clip=False)
+        with pytest.raises(EncodingDomainError):
+            disc.index(1.5)
+
+    def test_non_finite_rejected(self):
+        disc = LinearDiscretizer(0.0, 1.0, 5)
+        with pytest.raises(EncodingDomainError):
+            disc.index(float("nan"))
+
+    def test_value_round_trip(self):
+        disc = LinearDiscretizer(5.0, 15.0, 21)
+        idx = disc.index(9.3)
+        assert disc.value(idx) == pytest.approx(9.5)
+
+    def test_round_trip_error_bounded_by_half_step(self):
+        disc = LinearDiscretizer(0.0, 1.0, 101)
+        xs = np.linspace(0, 1, 997)
+        err = np.abs(disc.round_trip(xs) - xs)
+        assert err.max() <= 0.005 + 1e-12
+
+    def test_value_out_of_range(self):
+        disc = LinearDiscretizer(0.0, 1.0, 5)
+        with pytest.raises(InvalidParameterError):
+            disc.value(5)
+
+    @pytest.mark.parametrize("low,high", [(1.0, 1.0), (2.0, 1.0)])
+    def test_invalid_interval(self, low, high):
+        with pytest.raises(InvalidParameterError):
+            LinearDiscretizer(low, high, 5)
+
+    @pytest.mark.parametrize("size", [0, 1, -2])
+    def test_invalid_size(self, size):
+        with pytest.raises(InvalidParameterError):
+            LinearDiscretizer(0.0, 1.0, size)
+
+    @settings(max_examples=50)
+    @given(x=st.floats(min_value=0.0, max_value=1.0))
+    def test_property_index_is_nearest(self, x):
+        disc = LinearDiscretizer(0.0, 1.0, 17)
+        idx = int(disc.index(x))
+        distances = np.abs(disc.points - x)
+        assert distances[idx] == pytest.approx(distances.min())
+
+
+class TestCircularDiscretizer:
+    def test_points_cover_circle_without_duplicate(self):
+        disc = CircularDiscretizer(4)
+        np.testing.assert_allclose(disc.points, [0, math.pi / 2, math.pi, 3 * math.pi / 2])
+
+    def test_wrapping(self):
+        disc = CircularDiscretizer(8)
+        assert disc.index(TWO_PI) == 0
+        assert disc.index(-TWO_PI / 8) == 7
+        assert disc.index(5 * TWO_PI + 0.01) == 0
+
+    def test_boundary_wraps_to_first(self):
+        disc = CircularDiscretizer(6)
+        # An angle just below 2π is nearer to point 0 than to point 5.
+        assert disc.index(TWO_PI - 0.01) == 0
+
+    def test_custom_period(self):
+        hours = CircularDiscretizer(24, period=24.0)
+        assert hours.index(23.9) == 0
+        assert hours.index(12.0) == 12
+
+    def test_custom_low(self):
+        disc = CircularDiscretizer(4, low=-1.0, period=2.0)
+        assert disc.index(-1.0) == 0
+        assert disc.index(0.99) == 0  # wraps to low
+        assert disc.index(0.0) == 2
+
+    def test_never_raises_domain_error(self):
+        disc = CircularDiscretizer(12)
+        disc.index(1e9)
+        disc.index(-1e9)
+
+    def test_arc_steps(self):
+        disc = CircularDiscretizer(10)
+        assert disc.arc_steps(0, 3) == 3
+        assert disc.arc_steps(0, 7) == 3
+        assert disc.arc_steps(2, 2) == 0
+        assert disc.arc_steps(0, 5) == 5
+
+    def test_value_round_trip(self):
+        disc = CircularDiscretizer(360)
+        x = 1.2345
+        assert float(disc.value(disc.index(x))) == pytest.approx(x, abs=TWO_PI / 720)
+
+    @pytest.mark.parametrize("period", [0.0, -1.0, float("inf")])
+    def test_invalid_period(self, period):
+        with pytest.raises(InvalidParameterError):
+            CircularDiscretizer(8, period=period)
+
+    @settings(max_examples=50)
+    @given(x=st.floats(min_value=-100.0, max_value=100.0))
+    def test_property_index_is_circularly_nearest(self, x):
+        disc = CircularDiscretizer(13)
+        idx = int(disc.index(x))
+        # Circular distance from x to every grid point.
+        diffs = np.abs((disc.points - x + math.pi) % TWO_PI - math.pi)
+        assert diffs[idx] == pytest.approx(diffs.min(), abs=1e-9)

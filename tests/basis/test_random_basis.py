@@ -1,0 +1,71 @@
+"""Tests for random-hypervector basis sets (Section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import RandomBasis
+from tests.conftest import binomial_tolerance
+
+
+class TestRandomBasis:
+    def test_shape(self):
+        basis = RandomBasis(size=26, dim=512, seed=0)
+        assert len(basis) == 26
+        assert basis.dim == 512
+        assert basis.vectors.shape == (26, 512)
+
+    def test_reproducible(self):
+        a = RandomBasis(10, 256, seed=5)
+        b = RandomBasis(10, 256, seed=5)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+    def test_expected_distance_structure(self):
+        basis = RandomBasis(6, 64, seed=1)
+        assert basis.expected_distance(2, 2) == 0.0
+        assert basis.expected_distance(0, 5) == 0.5
+        assert basis.expected_distance(5, 0) == 0.5
+
+    def test_empirical_matches_expected(self):
+        dim = 20_000
+        basis = RandomBasis(8, dim, seed=2)
+        tol = binomial_tolerance(dim)
+        emp = basis.distance_matrix()
+        exp = basis.expected_distance_matrix()
+        assert np.abs(emp - exp).max() < tol
+
+    def test_similarity_matrix_diagonal(self):
+        basis = RandomBasis(5, 128, seed=3)
+        np.testing.assert_allclose(np.diagonal(basis.similarity_matrix()), 1.0)
+
+    def test_getitem_row(self):
+        basis = RandomBasis(4, 64, seed=4)
+        np.testing.assert_array_equal(basis[1], basis.vectors[1])
+
+    def test_getitem_fancy_index(self):
+        basis = RandomBasis(4, 64, seed=4)
+        out = basis[np.array([0, 0, 3])]
+        assert out.shape == (3, 64)
+
+    def test_index_out_of_range(self):
+        basis = RandomBasis(4, 64, seed=4)
+        with pytest.raises(IndexError):
+            basis.expected_distance(0, 4)
+
+    def test_negative_index_allowed(self):
+        basis = RandomBasis(4, 64, seed=4)
+        assert basis.expected_distance(0, -1) == 0.5
+        assert basis.expected_distance(-1, -1) == 0.0
+
+    def test_linear_embedding_convenience(self):
+        basis = RandomBasis(10, 64, seed=6)
+        emb = basis.linear_embedding(0.0, 1.0)
+        assert emb.encode(0.0).shape == (64,)
+        np.testing.assert_array_equal(emb.encode(0.0), basis[0])
+        np.testing.assert_array_equal(emb.encode(1.0), basis[9])
+
+    def test_circular_embedding_convenience(self):
+        basis = RandomBasis(12, 64, seed=7)
+        emb = basis.circular_embedding(period=24.0)
+        np.testing.assert_array_equal(emb.encode(0.0), emb.encode(24.0))

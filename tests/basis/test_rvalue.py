@@ -1,0 +1,134 @@
+"""Tests for the r-interpolation machinery (Section 5.2 internals)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis import chain_flip_probability, interpolated_chain, transitions_per_subset
+from repro.basis.rvalue import segment_interval, xor_combine
+from repro.exceptions import InvalidParameterError
+from tests.conftest import binomial_tolerance
+
+
+class TestTransitionsPerSubset:
+    def test_endpoints(self):
+        assert transitions_per_subset(10, 0.0) == 9.0
+        assert transitions_per_subset(10, 1.0) == 1.0
+
+    def test_linear_in_r(self):
+        assert transitions_per_subset(5, 0.5) == pytest.approx(0.5 + 0.5 * 4)
+
+    def test_invalid_r(self):
+        with pytest.raises(InvalidParameterError):
+            transitions_per_subset(5, 2.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            transitions_per_subset(1, 0.0)
+
+
+class TestXorCombine:
+    def test_identity(self):
+        assert xor_combine(0.0, 0.3) == pytest.approx(0.3)
+
+    def test_absorbing_half(self):
+        assert xor_combine(0.5, 0.123) == pytest.approx(0.5)
+
+    def test_commutative(self):
+        assert xor_combine(0.2, 0.4) == pytest.approx(xor_combine(0.4, 0.2))
+
+    def test_associative(self):
+        a = xor_combine(xor_combine(0.1, 0.2), 0.3)
+        b = xor_combine(0.1, xor_combine(0.2, 0.3))
+        assert a == pytest.approx(b)
+
+    @settings(max_examples=50)
+    @given(
+        p=st.floats(min_value=0, max_value=0.5),
+        q=st.floats(min_value=0, max_value=0.5),
+    )
+    def test_property_stays_in_half_interval(self, p, q):
+        out = xor_combine(p, q)
+        assert 0.0 <= out <= 0.5 + 1e-12
+        assert out >= max(p, q) - 1e-12  # combining never reduces distance
+
+
+class TestSegmentInterval:
+    def test_full_segments(self):
+        assert segment_interval(0, 3.0, 9.0) == (0.0, 3.0)
+        assert segment_interval(2, 3.0, 9.0) == (6.0, 9.0)
+
+    def test_partial_final_segment(self):
+        lo, hi = segment_interval(1, 4.0, 6.0)
+        assert (lo, hi) == (4.0, 6.0)
+
+
+class TestChainFlipProbability:
+    def test_single_segment_linear(self):
+        # r = 0: one segment of n = m−1; probability is Δt / (2n).
+        assert chain_flip_probability(0, 3, 9.0, 9.0) == pytest.approx(3 / 18)
+
+    def test_full_span_is_half(self):
+        assert chain_flip_probability(0, 9, 9.0, 9.0) == pytest.approx(0.5)
+
+    def test_cross_segment_combination(self):
+        # Two full segments of width 2: each contributes 1/2, combined
+        # 0.5 ⊕ 0.5 = 0.5.
+        assert chain_flip_probability(0, 4, 2.0, 4.0) == pytest.approx(0.5)
+
+    def test_symmetric(self):
+        assert chain_flip_probability(1, 5, 3.0, 9.0) == pytest.approx(
+            chain_flip_probability(5, 1, 3.0, 9.0)
+        )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chain_flip_probability(0, 10, 3.0, 9.0)
+
+    def test_invalid_width(self):
+        with pytest.raises(InvalidParameterError):
+            chain_flip_probability(0, 1, 0.0, 9.0)
+
+
+class TestInterpolatedChain:
+    def test_shape_and_dtype(self):
+        chain = interpolated_chain(7, 128, seed=0)
+        assert chain.shape == (7, 128)
+        assert chain.dtype == np.uint8
+
+    def test_reproducible(self):
+        a = interpolated_chain(5, 64, r=0.3, seed=1)
+        b = interpolated_chain(5, 64, r=0.3, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("r", [0.0, 0.37, 1.0])
+    def test_empirical_distances_match_theory(self, r):
+        dim = 30_000
+        size = 8
+        chain = interpolated_chain(size, dim, r=r, seed=2)
+        n = transitions_per_subset(size, r)
+        tol = binomial_tolerance(dim)
+        for i in range(size):
+            for j in range(size):
+                expected = chain_flip_probability(i, j, n, size - 1)
+                empirical = float(np.mean(chain[i] != chain[j]))
+                assert abs(empirical - expected) < tol, (i, j, r)
+
+    def test_r_one_members_independent(self):
+        dim = 30_000
+        chain = interpolated_chain(6, dim, r=1.0, seed=3)
+        tol = binomial_tolerance(dim)
+        for i in range(6):
+            for j in range(i + 1, 6):
+                assert abs(np.mean(chain[i] != chain[j]) - 0.5) < tol
+
+    def test_minimum_size(self):
+        with pytest.raises(InvalidParameterError):
+            interpolated_chain(1, 64)
+
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            interpolated_chain(4, 0)

@@ -1,0 +1,90 @@
+"""Tests for scatter codes (Section 4.2's random-walk encoding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import ScatterBasis
+from repro.exceptions import InvalidParameterError
+from tests.conftest import binomial_tolerance
+
+DIM = 30_000
+
+
+class TestExactMode:
+    def test_anchored_distances_match_delta(self):
+        size = 9
+        basis = ScatterBasis(size, DIM, flips="exact", seed=0)
+        tol = binomial_tolerance(DIM)
+        for j in range(size):
+            target = j / (2 * (size - 1))
+            assert abs(basis.distance(0, j) - target) < tol
+
+    def test_pairwise_distances_match_combination_rule(self):
+        basis = ScatterBasis(7, DIM, flips="exact", seed=1)
+        tol = binomial_tolerance(DIM)
+        emp = basis.distance_matrix()
+        exp = basis.expected_distance_matrix()
+        assert np.abs(emp - exp).max() < tol
+
+    def test_nonlinearity(self):
+        """Scatter codes map non-anchor pairs *nonlinearly*: the distance
+        between members 2 and 6 exceeds the linear value that a level set
+        would give, because independent walks add variance."""
+        size = 9
+        basis = ScatterBasis(size, 64, flips="exact", seed=2)
+        linear = (6 - 2) / (2 * (size - 1))
+        assert basis.expected_distance(2, 6) > linear
+
+    def test_last_level_quasi_orthogonal(self):
+        basis = ScatterBasis(5, DIM, flips="exact", seed=3)
+        assert abs(basis.distance(0, 4) - 0.5) < binomial_tolerance(DIM)
+
+
+class TestAbsorptionMode:
+    def test_anchored_distances_approximate_delta(self):
+        """The paper's 𭟋 (absorption time) overshoots slightly; allow a
+        looser, one-sided tolerance."""
+        size = 8
+        basis = ScatterBasis(size, 10_000, flips="absorption", seed=4)
+        for j in range(1, size):
+            target = j / (2 * (size - 1))
+            assert basis.distance(0, j) == pytest.approx(target, abs=0.03)
+
+    def test_flip_counts_grow_with_target(self):
+        basis = ScatterBasis(8, 4096, flips="absorption", seed=5)
+        assert (np.diff(basis.flip_counts) > 0).all()
+
+    def test_absorption_needs_more_flips_than_exact_far_out(self):
+        """Absorption times exceed the exact-expectation flip counts for
+        distant targets (the walk revisits positions)."""
+        exact = ScatterBasis(9, 4096, flips="exact", seed=6).flip_counts
+        absorb = ScatterBasis(9, 4096, flips="absorption", seed=6).flip_counts
+        assert absorb[-1] > exact[-2]
+
+
+class TestValidation:
+    def test_invalid_mode(self):
+        with pytest.raises(InvalidParameterError):
+            ScatterBasis(4, 64, flips="bogus")
+
+    def test_too_small(self):
+        with pytest.raises(InvalidParameterError):
+            ScatterBasis(1, 64)
+
+    def test_min_dim(self):
+        with pytest.raises(InvalidParameterError):
+            ScatterBasis(4, 1)
+
+    def test_reproducible(self):
+        a = ScatterBasis(5, 512, seed=7)
+        b = ScatterBasis(5, 512, seed=7)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+    def test_per_bit_flip_probability_monotone(self):
+        basis = ScatterBasis(6, 2048, seed=8)
+        probs = [basis.per_bit_flip_probability(i) for i in range(6)]
+        assert probs[0] == 0.0
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+        assert probs[-1] <= 0.5

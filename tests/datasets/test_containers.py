@@ -1,0 +1,68 @@
+"""Tests for the dataset container dataclasses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import ClassificationSplit, RegressionSplit
+from repro.exceptions import InvalidParameterError
+
+
+def _cls_split(**overrides):
+    kwargs = dict(
+        train_features=np.zeros((4, 2)),
+        train_labels=np.zeros(4, dtype=np.int64),
+        test_features=np.ones((6, 2)),
+        test_labels=np.ones(6, dtype=np.int64),
+        metadata={"name": "toy"},
+    )
+    kwargs.update(overrides)
+    return ClassificationSplit(**kwargs)
+
+
+def _reg_split(**overrides):
+    kwargs = dict(
+        train_features=np.zeros((4, 1)),
+        train_labels=np.array([1.0, 3.0, 2.0, 5.0]),
+        test_features=np.ones((2, 1)),
+        test_labels=np.array([2.0, 4.0]),
+        metadata={},
+    )
+    kwargs.update(overrides)
+    return RegressionSplit(**kwargs)
+
+
+class TestClassificationSplit:
+    def test_properties(self):
+        split = _cls_split()
+        assert split.num_classes == 2
+        assert split.num_channels == 2
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(InvalidParameterError):
+            _cls_split(train_features=np.zeros(4))
+
+    def test_rejects_label_count_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            _cls_split(test_labels=np.ones(5, dtype=np.int64))
+
+    def test_frozen(self):
+        split = _cls_split()
+        with pytest.raises(AttributeError):
+            split.train_labels = np.zeros(4)
+
+    def test_metadata_carried(self):
+        assert _cls_split().metadata["name"] == "toy"
+
+
+class TestRegressionSplit:
+    def test_label_range_uses_training_only(self):
+        split = _reg_split()
+        assert split.label_range == (1.0, 5.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(InvalidParameterError):
+            _reg_split(train_features=np.zeros((4, 1, 1)))
+        with pytest.raises(InvalidParameterError):
+            _reg_split(train_labels=np.zeros(3))

@@ -1,0 +1,279 @@
+"""Tests for the synthetic dataset generators and split utilities.
+
+Beyond shapes and determinism, these tests *certify* each surrogate: the
+statistical structure the paper's experiment depends on must actually be
+present (circular–linear correlation, class separability, domain shift).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DAYS_PER_YEAR,
+    JIGSAWS_TASKS,
+    SURGEONS,
+    chronological_split,
+    make_beijing_like,
+    make_jigsaws_like,
+    make_mars_express_like,
+    mars_power_curve,
+    random_split,
+)
+from repro.exceptions import InvalidParameterError
+from repro.learning import NearestCentroidBaseline, TrigRegressionBaseline
+from repro.stats import circular_linear_correlation, time_to_angle
+
+TWO_PI = 2.0 * math.pi
+
+
+class TestSplitUtilities:
+    def test_chronological_order(self):
+        train, test = chronological_split(10, 0.7)
+        np.testing.assert_array_equal(train, np.arange(7))
+        np.testing.assert_array_equal(test, np.arange(7, 10))
+
+    def test_chronological_bounds(self):
+        train, test = chronological_split(2, 0.99)
+        assert train.size == 1 and test.size == 1
+
+    def test_random_split_partitions(self):
+        train, test = random_split(100, 0.7, seed=0)
+        combined = np.sort(np.concatenate([train, test]))
+        np.testing.assert_array_equal(combined, np.arange(100))
+        assert train.size == 70
+
+    def test_random_split_reproducible(self):
+        a = random_split(50, 0.5, seed=1)
+        b = random_split(50, 0.5, seed=1)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(InvalidParameterError):
+            chronological_split(10, fraction)
+        with pytest.raises(InvalidParameterError):
+            random_split(10, fraction)
+
+
+class TestJigsaws:
+    def test_shapes_and_protocol(self):
+        split = make_jigsaws_like(task="knot_tying", seed=0)
+        spec = JIGSAWS_TASKS["knot_tying"]
+        per_surgeon = 15 * spec.samples_per_gesture
+        assert split.train_features.shape == (per_surgeon, 18)
+        assert split.test_features.shape == (per_surgeon * (len(SURGEONS) - 1), 18)
+        assert split.num_classes == 15
+
+    def test_angles_in_range(self):
+        split = make_jigsaws_like(seed=1)
+        assert (split.train_features >= 0).all()
+        assert (split.train_features < TWO_PI).all()
+
+    def test_reproducible(self):
+        a = make_jigsaws_like(seed=2)
+        b = make_jigsaws_like(seed=2)
+        np.testing.assert_array_equal(a.train_features, b.train_features)
+        np.testing.assert_array_equal(a.test_labels, b.test_labels)
+
+    def test_seeds_differ(self):
+        a = make_jigsaws_like(seed=3)
+        b = make_jigsaws_like(seed=4)
+        assert np.any(a.train_features != b.train_features)
+
+    def test_classes_are_separable_within_surgeon(self):
+        """A circular nearest-centroid on the training surgeon's own data
+        must do well — the classes are real."""
+        split = make_jigsaws_like(task="knot_tying", seed=5)
+        clf = NearestCentroidBaseline("circular")
+        clf.fit(split.train_features, split.train_labels.tolist())
+        assert clf.score(split.train_features, split.train_labels.tolist()) > 0.9
+
+    def test_domain_shift_hurts(self):
+        """Accuracy on held-out surgeons must be lower than on the training
+        surgeon — that is the leave-surgeon-out difficulty."""
+        split = make_jigsaws_like(task="suturing", seed=6)
+        clf = NearestCentroidBaseline("circular")
+        clf.fit(split.train_features, split.train_labels.tolist())
+        train_acc = clf.score(split.train_features, split.train_labels.tolist())
+        test_acc = clf.score(split.test_features, split.test_labels.tolist())
+        assert test_acc < train_acc
+
+    def test_task_difficulty_ordering(self):
+        """Suturing is the hardest task, as in the paper's Table 1."""
+        accs = {}
+        for task in ("knot_tying", "suturing"):
+            split = make_jigsaws_like(task=task, seed=7)
+            clf = NearestCentroidBaseline("circular")
+            clf.fit(split.train_features, split.train_labels.tolist())
+            accs[task] = clf.score(split.test_features, split.test_labels.tolist())
+        assert accs["suturing"] < accs["knot_tying"]
+
+    def test_rotation_matrix_mode(self):
+        split = make_jigsaws_like(features="rotation_matrix", seed=8)
+        assert split.train_features.shape[1] == 18
+        assert (split.train_features >= -1.0 - 1e-9).all()
+        assert (split.train_features <= 1.0 + 1e-9).all()
+        assert split.metadata["feature_kind"] == "rotation_matrix"
+
+    def test_rotation_matrices_are_orthonormal(self):
+        split = make_jigsaws_like(features="rotation_matrix", seed=9)
+        row = split.train_features[0]
+        for m in range(2):
+            matrix = row[9 * m : 9 * (m + 1)].reshape(3, 3)
+            np.testing.assert_allclose(matrix @ matrix.T, np.eye(3), atol=1e-12)
+            assert np.linalg.det(matrix) == pytest.approx(1.0)
+
+    def test_rotation_mode_needs_multiple_of_nine(self):
+        with pytest.raises(InvalidParameterError):
+            make_jigsaws_like(features="rotation_matrix", num_channels=12)
+
+    def test_invalid_task(self):
+        with pytest.raises(InvalidParameterError):
+            make_jigsaws_like(task="appendectomy")
+
+    def test_invalid_surgeon(self):
+        with pytest.raises(InvalidParameterError):
+            make_jigsaws_like(train_surgeon="Z")
+
+    def test_invalid_feature_mode(self):
+        with pytest.raises(InvalidParameterError):
+            make_jigsaws_like(features="wavelet")
+
+    def test_metadata_records_parameters(self):
+        split = make_jigsaws_like(task="suturing", seed=10)
+        assert split.metadata["task"] == "suturing"
+        assert split.metadata["kappa"] == JIGSAWS_TASKS["suturing"].kappa
+
+
+class TestBeijing:
+    def test_shapes_and_split(self):
+        split = make_beijing_like(seed=0)
+        n = split.train_features.shape[0] + split.test_features.shape[0]
+        assert split.train_features.shape[0] == round(n * 0.7)
+        assert split.train_features.shape[1] == 3
+
+    def test_chronological_split(self):
+        split = make_beijing_like(seed=1)
+        # Training rows strictly precede test rows in time: year+doy check.
+        last_train_year = split.train_features[-1, 0]
+        first_test_year = split.test_features[0, 0]
+        assert first_test_year >= last_train_year
+
+    def test_feature_ranges(self):
+        split = make_beijing_like(seed=2)
+        day = np.concatenate([split.train_features[:, 1], split.test_features[:, 1]])
+        hour = np.concatenate([split.train_features[:, 2], split.test_features[:, 2]])
+        assert (day >= 0).all() and (day < DAYS_PER_YEAR).all()
+        assert (hour >= 0).all() and (hour < 24).all()
+
+    def test_seasonality_is_circular_linear_correlated(self):
+        """The paper's premise: day-of-year phase correlates with
+        temperature.  Certify it on the surrogate."""
+        split = make_beijing_like(seed=3)
+        theta = time_to_angle(split.train_features[:, 1], DAYS_PER_YEAR)
+        r = circular_linear_correlation(theta, split.train_labels)
+        assert r > 0.85
+
+    def test_diurnal_component_present(self):
+        split = make_beijing_like(seed=4)
+        # Remove the seasonal component with a 1-harmonic fit on the day
+        # angle, then test association of the residual with hour-of-day.
+        day_theta = time_to_angle(split.train_features[:, 1], DAYS_PER_YEAR)
+        seasonal = TrigRegressionBaseline(harmonics=1).fit(
+            day_theta, split.train_labels
+        )
+        residual = split.train_labels - seasonal.predict(day_theta)
+        hour_theta = time_to_angle(split.train_features[:, 2], 24.0)
+        assert circular_linear_correlation(hour_theta, residual) > 0.3
+
+    def test_reproducible(self):
+        a = make_beijing_like(seed=5)
+        b = make_beijing_like(seed=5)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_temperatures_plausible(self):
+        split = make_beijing_like(seed=6)
+        temps = np.concatenate([split.train_labels, split.test_labels])
+        assert -30 < temps.min() < 5
+        assert 20 < temps.max() < 50
+
+    def test_hours_step(self):
+        fine = make_beijing_like(hours_step=1, num_years=0.5, seed=7)
+        coarse = make_beijing_like(hours_step=6, num_years=0.5, seed=7)
+        total_fine = fine.train_labels.size + fine.test_labels.size
+        total_coarse = coarse.train_labels.size + coarse.test_labels.size
+        assert total_fine == pytest.approx(6 * total_coarse, rel=0.01)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_years": 0},
+            {"hours_step": 0},
+            {"ar_coefficient": 1.0},
+            {"noise_sigma": -1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            make_beijing_like(**kwargs)
+
+
+class TestMarsExpress:
+    def test_shapes(self):
+        split = make_mars_express_like(seed=0)
+        assert split.train_features.shape[1] == 1
+        total = split.train_labels.size + split.test_labels.size
+        assert total == 2500
+
+    def test_anomaly_range(self):
+        split = make_mars_express_like(seed=1)
+        anomaly = np.concatenate(
+            [split.train_features[:, 0], split.test_features[:, 0]]
+        )
+        assert (anomaly >= 0).all() and (anomaly < TWO_PI).all()
+
+    def test_power_follows_curve(self):
+        split = make_mars_express_like(noise_sigma=0.0, seed=2)
+        expected = mars_power_curve(split.train_features[:, 0])
+        np.testing.assert_allclose(split.train_labels, expected)
+
+    def test_circular_linear_correlation_strong(self):
+        split = make_mars_express_like(seed=3)
+        r = circular_linear_correlation(
+            split.train_features[:, 0], split.train_labels
+        )
+        assert r > 0.8
+
+    def test_eclipse_dip_visible(self):
+        curve = mars_power_curve(np.linspace(0, TWO_PI, 1000))
+        smooth = mars_power_curve(
+            np.linspace(0, TWO_PI, 1000), eclipse_depth=0.0
+        )
+        assert (smooth - curve).max() > 30  # the dip is material
+
+    def test_reproducible(self):
+        a = make_mars_express_like(seed=4)
+        b = make_mars_express_like(seed=4)
+        np.testing.assert_array_equal(a.test_labels, b.test_labels)
+
+    def test_random_split_interleaves_time(self):
+        split = make_mars_express_like(seed=5)
+        # Random split: test anomalies should span the full circle.
+        assert split.test_features[:, 0].max() - split.test_features[:, 0].min() > 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_samples": 2}, {"num_orbits": 0}, {"noise_sigma": -1}]
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            make_mars_express_like(**kwargs)
+
+    def test_label_range_property(self):
+        split = make_mars_express_like(seed=6)
+        lo, hi = split.label_range
+        assert lo == split.train_labels.min()
+        assert hi == split.train_labels.max()

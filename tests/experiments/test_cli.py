@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_unknown_target_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_figure6_runs(self, capsys):
+        assert main(["figure6", "--dim", "1024", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "r=0.0" in out or "r=0" in out
+
+    def test_figure3_runs(self, capsys):
+        assert main(["figure3", "--dim", "1024", "--size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "random" in out and "circular" in out
+
+    def test_table1_runs_small(self, capsys):
+        assert main(["table1", "--dim", "512", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Knot Tying" in out
+        assert "%" in out
+
+    def test_table2_runs_small(self, capsys):
+        assert main(["table2", "--dim", "512", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Mars Express" in out
+
+    def test_figure7_runs_small(self, capsys):
+        assert main(["figure7", "--dim", "512", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized" in out.lower()
+
+    def test_figure8_fast_runs(self, capsys):
+        assert main(["figure8", "--dim", "512", "--seed", "3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "Suturing" in out

@@ -1,0 +1,124 @@
+"""Integration tests for the Table 2 / Figure 7 experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_beijing_like, make_mars_express_like
+from repro.exceptions import InvalidParameterError
+from repro.experiments import (
+    REGRESSION_DATASETS,
+    RegressionConfig,
+    run_beijing,
+    run_mars_express,
+    run_regression,
+    run_table2,
+)
+from repro.learning import normalized_mse
+
+DIM = 2048
+CONFIG = RegressionConfig(dim=DIM, seed=7)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2(CONFIG)
+
+
+class TestTable2Shape:
+    def test_rows_and_columns(self, table2):
+        assert set(table2) == set(REGRESSION_DATASETS)
+        for row in table2.values():
+            assert set(row) == {"random", "level", "circular"}
+
+    def test_circular_best_everywhere(self, table2):
+        for dataset, row in table2.items():
+            assert row["circular"] < row["level"], dataset
+            assert row["circular"] < row["random"], dataset
+
+    def test_paper_ordering_random_worst(self, table2):
+        """Table 2's full ordering: random > level > circular."""
+        for dataset, row in table2.items():
+            assert row["random"] > row["level"], dataset
+
+    def test_error_reduction_is_material(self, table2):
+        """Paper: −67.7% vs level and −84.4% vs random on average."""
+        vs_level = [1 - row["circular"] / row["level"] for row in table2.values()]
+        vs_random = [1 - row["circular"] / row["random"] for row in table2.values()]
+        assert sum(vs_level) / 2 > 0.3
+        assert sum(vs_random) / 2 > 0.6
+
+    def test_figure7_normalization(self, table2):
+        """Figure 7 = Table 2 normalized by the random column."""
+        for row in table2.values():
+            normalized = {
+                kind: normalized_mse(row[kind], row["random"]) for kind in row
+            }
+            assert normalized["random"] == pytest.approx(1.0)
+            assert normalized["circular"] < normalized["level"] < 1.0
+
+
+class TestRunRegression:
+    def test_result_fields_beijing(self):
+        result = run_beijing("circular", config=CONFIG)
+        assert result.dataset == "beijing"
+        assert result.num_train > result.num_test
+        assert result.mse > 0
+
+    def test_result_fields_mars(self):
+        result = run_mars_express("circular", config=CONFIG)
+        assert result.dataset == "mars_express"
+        assert result.num_train == 1750
+
+    def test_dispatch(self):
+        result = run_regression("mars_express", "random", config=CONFIG)
+        assert result.basis_kind == "random"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            run_regression("venus", "random", config=CONFIG)
+
+    def test_reproducible(self):
+        a = run_mars_express("level", config=CONFIG)
+        b = run_mars_express("level", config=CONFIG)
+        assert a.mse == b.mse
+
+    def test_supplied_split_reused(self):
+        split = make_mars_express_like(seed=0)
+        a = run_mars_express("circular", config=CONFIG, split=split)
+        b = run_mars_express("circular", config=CONFIG, split=split)
+        assert a.mse == b.mse
+
+    def test_binary_model_mode_runs(self):
+        config = RegressionConfig(dim=DIM, seed=7, model="binary")
+        result = run_mars_express("circular", config=config)
+        assert result.mse > 0
+
+    def test_weighted_decode_runs(self):
+        config = RegressionConfig(dim=DIM, seed=7, decode="weighted")
+        result = run_mars_express("circular", config=config)
+        assert result.mse > 0
+
+    def test_beijing_split_override(self):
+        split = make_beijing_like(num_years=1.0, hours_step=6, seed=1)
+        result = run_beijing("circular", config=CONFIG, split=split)
+        assert result.num_train + result.num_test == split.train_labels.size + split.test_labels.size
+
+
+class TestConfig:
+    def test_scaled(self):
+        assert CONFIG.scaled(1024).dim == 1024
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dim": 4},
+            {"label_levels": 1},
+            {"circular_r": -0.1},
+            {"decode": "mode"},
+            {"model": "float"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            RegressionConfig(**kwargs)

@@ -1,0 +1,69 @@
+"""Integration tests for the Figure 8 r-sweep driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import (
+    ClassificationConfig,
+    RegressionConfig,
+    run_rsweep,
+)
+
+DIM = 1024
+C_CONFIG = ClassificationConfig(dim=DIM, seed=7)
+R_CONFIG = RegressionConfig(dim=DIM, seed=7)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_rsweep(
+        r_values=(0.0, 0.1, 1.0),
+        datasets=("mars_express", "suturing"),
+        classification_config=C_CONFIG,
+        regression_config=R_CONFIG,
+    )
+
+
+class TestSweepShape:
+    def test_series_structure(self, sweep):
+        assert sweep.r_values == (0.0, 0.1, 1.0)
+        assert set(sweep.normalized_error) == {"mars_express", "suturing"}
+        for series in sweep.normalized_error.values():
+            assert len(series) == 3
+
+    def test_low_r_beats_random_reference(self, sweep):
+        """Normalized error < 1 for small r (the Figure 8 claim)."""
+        for dataset in ("mars_express", "suturing"):
+            series = sweep.series(dataset)
+            assert series[0] < 1.0, dataset
+            assert series[1] < 1.0, dataset
+
+    def test_r_one_approaches_reference(self, sweep):
+        """At r = 1 the circular set degenerates to random: the normalized
+        error returns to ≈ 1 (within the noise of a single run)."""
+        for dataset in ("mars_express", "suturing"):
+            assert sweep.series(dataset)[-1] == pytest.approx(1.0, abs=0.5)
+
+    def test_references_recorded(self, sweep):
+        assert sweep.reference["mars_express"] > 0
+        assert 0 < sweep.reference["suturing"] <= 1.0
+
+    def test_series_accessor_unknown_dataset(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.series("venus")
+
+
+class TestValidation:
+    def test_empty_r_values(self):
+        with pytest.raises(InvalidParameterError):
+            run_rsweep(r_values=())
+
+    def test_out_of_range_r(self):
+        with pytest.raises(InvalidParameterError):
+            run_rsweep(r_values=(0.0, 1.5))
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            run_rsweep(r_values=(0.0,), datasets=("venus",))

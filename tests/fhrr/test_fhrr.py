@@ -1,0 +1,183 @@
+"""Tests for the FHRR phasor space and fractional power encoding."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    EmptyModelError,
+    InvalidHypervectorError,
+    InvalidParameterError,
+)
+from repro.fhrr import FHRRSpace, FPERegressor, FractionalPowerEncoding
+
+TWO_PI = 2.0 * math.pi
+
+
+class TestFHRRSpace:
+    def test_random_unit_modulus(self):
+        space = FHRRSpace(dim=256, seed=0)
+        hvs = space.random(3)
+        np.testing.assert_allclose(np.abs(hvs), 1.0)
+
+    def test_random_pairs_quasi_orthogonal(self):
+        space = FHRRSpace(dim=20_000, seed=1)
+        a, b = space.random(2)
+        assert abs(float(space.similarity_raw(a, b))) < 0.05
+        assert abs(float(space.distance(a, b)) - 0.5) < 0.03
+
+    def test_bind_unbind_exact(self):
+        space = FHRRSpace(dim=512, seed=2)
+        a, b = space.random(2)
+        recovered = space.unbind(space.bind(a, b), b)
+        np.testing.assert_allclose(recovered, a, atol=1e-12)
+
+    def test_bind_commutative(self):
+        space = FHRRSpace(dim=128, seed=3)
+        a, b = space.random(2)
+        np.testing.assert_allclose(space.bind(a, b), space.bind(b, a))
+
+    def test_bind_decorrelates(self):
+        space = FHRRSpace(dim=20_000, seed=4)
+        a, b = space.random(2)
+        assert abs(float(space.similarity_raw(space.bind(a, b), a))) < 0.05
+
+    def test_bundle_similar_to_operands(self):
+        space = FHRRSpace(dim=20_000, seed=5)
+        hvs = space.random(3)
+        out = space.bundle(hvs)
+        np.testing.assert_allclose(np.abs(out), 1.0)
+        for hv in hvs:
+            assert float(space.similarity_raw(out, hv)) > 0.3
+
+    def test_bundle_handles_cancellation(self):
+        space = FHRRSpace(dim=64, seed=6)
+        a = space.random(1)[0]
+        out = space.bundle(np.stack([a, -a]))
+        np.testing.assert_allclose(np.abs(out), 1.0)
+
+    def test_permute_roundtrip(self):
+        space = FHRRSpace(dim=128, seed=7)
+        hv = space.random(1)[0]
+        np.testing.assert_allclose(space.permute(space.permute(hv, 5), -5), hv)
+
+    def test_distance_range(self):
+        space = FHRRSpace(dim=1024, seed=8)
+        a, b = space.random(2)
+        assert 0.0 <= float(space.distance(a, b)) <= 1.0
+        assert float(space.distance(a, a)) == pytest.approx(0.0, abs=1e-12)
+        assert float(space.distance(a, -a)) == pytest.approx(1.0, abs=1e-12)
+
+    def test_rejects_real_arrays(self):
+        space = FHRRSpace(dim=8, seed=9)
+        with pytest.raises(InvalidHypervectorError):
+            space.bind(np.ones(8), np.ones(8))
+
+    def test_rejects_non_unit_modulus(self):
+        space = FHRRSpace(dim=8, seed=10)
+        with pytest.raises(InvalidHypervectorError):
+            space.bind(np.full(8, 2.0 + 0j), space.random(1)[0])
+
+
+class TestFractionalPowerEncoding:
+    def test_periodicity(self):
+        enc = FractionalPowerEncoding(dim=256, max_frequency=5, seed=0)
+        np.testing.assert_allclose(
+            enc.encode(1.0), enc.encode(1.0 + TWO_PI), atol=1e-9
+        )
+
+    def test_custom_period(self):
+        enc = FractionalPowerEncoding(dim=128, period=24.0, seed=1)
+        np.testing.assert_allclose(enc.encode(3.0), enc.encode(27.0), atol=1e-9)
+
+    def test_encoding_shapes(self):
+        enc = FractionalPowerEncoding(dim=64, seed=2)
+        assert enc.encode(1.0).shape == (64,)
+        assert enc.encode(np.zeros(5)).shape == (5, 64)
+
+    def test_empirical_similarity_matches_kernel(self):
+        enc = FractionalPowerEncoding(dim=50_000, max_frequency=6, seed=3)
+        for delta in (0.1, 0.5, 1.5, math.pi):
+            a = enc.encode(1.0)
+            b = enc.encode(1.0 + delta)
+            emp = float(enc.similarity(a, b))
+            assert emp == pytest.approx(float(enc.kernel(delta)), abs=0.02)
+
+    def test_kernel_peak_at_zero(self):
+        enc = FractionalPowerEncoding(dim=64, max_frequency=8, seed=4)
+        assert float(enc.kernel(0.0)) == pytest.approx(1.0)
+        assert float(enc.kernel(0.4)) < 1.0
+
+    def test_kernel_narrows_with_max_frequency(self):
+        wide = FractionalPowerEncoding(dim=64, max_frequency=2, seed=5)
+        narrow = FractionalPowerEncoding(dim=64, max_frequency=16, seed=5)
+        assert float(narrow.kernel(0.5)) < float(wide.kernel(0.5))
+
+    def test_frequencies_are_nonzero_integers(self):
+        enc = FractionalPowerEncoding(dim=1000, max_frequency=7, seed=6)
+        assert (enc.frequencies != 0).all()
+        assert np.abs(enc.frequencies).max() <= 7
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"dim": 0}, {"max_frequency": 0}, {"period": 0.0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            FractionalPowerEncoding(**{"dim": 64, **kwargs})
+
+
+class TestFPERegressor:
+    def test_recovers_first_harmonic(self, rng):
+        enc = FractionalPowerEncoding(dim=4096, max_frequency=4, seed=0)
+        theta = rng.uniform(0, TWO_PI, 500)
+        y = 2.0 + 3.0 * np.cos(theta - 0.5)
+        model = FPERegressor(enc).fit(theta, y)
+        probe = np.linspace(0, TWO_PI, 40)
+        truth = 2.0 + 3.0 * np.cos(probe - 0.5)
+        assert model.score(probe, truth) < 0.05 * np.var(y)
+
+    def test_captures_higher_harmonics(self, rng):
+        """The bandwidth win over circular-hypervectors: a semidiurnal
+        (second-harmonic) signal is recovered when max_frequency ≥ 2."""
+        enc = FractionalPowerEncoding(dim=4096, max_frequency=6, seed=1)
+        theta = rng.uniform(0, TWO_PI, 600)
+        y = np.sin(2 * theta)
+        model = FPERegressor(enc).fit(theta, y)
+        probe = np.linspace(0, TWO_PI, 50)
+        assert model.score(probe, np.sin(2 * probe)) < 0.1 * np.var(y)
+
+    def test_incremental_fit(self, rng):
+        enc = FractionalPowerEncoding(dim=1024, max_frequency=4, seed=2)
+        theta = rng.uniform(0, TWO_PI, 200)
+        y = np.cos(theta)
+        whole = FPERegressor(enc).fit(theta, y)
+        assert whole.num_samples == 200
+        parts = FPERegressor(enc).fit(theta[:100], y[:100]).fit(theta[100:], y[100:])
+        probe = np.linspace(0, TWO_PI, 10)
+        np.testing.assert_allclose(whole.predict(probe), parts.predict(probe), atol=0.2)
+
+    def test_scalar_prediction(self, rng):
+        enc = FractionalPowerEncoding(dim=512, max_frequency=3, seed=3)
+        model = FPERegressor(enc).fit(rng.uniform(0, TWO_PI, 100), np.ones(100))
+        assert np.isscalar(float(model.predict(1.0)))
+
+    def test_predict_before_fit(self):
+        enc = FractionalPowerEncoding(dim=64, seed=4)
+        with pytest.raises(EmptyModelError):
+            FPERegressor(enc).predict(0.0)
+
+    def test_label_mean_tracked(self, rng):
+        enc = FractionalPowerEncoding(dim=64, seed=5)
+        y = rng.normal(7.0, 0.1, 50)
+        model = FPERegressor(enc).fit(rng.uniform(0, TWO_PI, 50), y)
+        assert model.label_mean == pytest.approx(float(y.mean()))
+
+    def test_input_validation(self, rng):
+        enc = FractionalPowerEncoding(dim=64, seed=6)
+        with pytest.raises(InvalidParameterError):
+            FPERegressor(enc).fit(np.zeros(3), np.zeros(2))
+        with pytest.raises(InvalidParameterError):
+            FPERegressor(enc).fit(np.zeros(0), np.zeros(0))

@@ -1,0 +1,148 @@
+"""Tests for hyperdimensional consistent hashing.
+
+The two consistent-hashing contracts (balance, minimal disruption) are the
+integration test of circular-hypervectors' ring geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyModelError, InvalidParameterError
+from repro.hashing import HyperdimensionalHashRing, key_to_angle
+
+DIM = 4096
+
+
+class TestKeyToAngle:
+    def test_deterministic(self):
+        assert key_to_angle("alpha") == key_to_angle("alpha")
+
+    def test_range(self):
+        for key in ("a", "b", 42, ("tuple", 1)):
+            assert 0.0 <= key_to_angle(key) < 2 * np.pi
+
+    def test_spread(self):
+        angles = np.array([key_to_angle(f"key-{i}") for i in range(2000)])
+        # Pseudo-uniform: all four quadrants populated roughly equally.
+        counts, _ = np.histogram(angles, bins=4, range=(0, 2 * np.pi))
+        assert counts.min() > 350
+
+
+@pytest.fixture
+def ring():
+    ring = HyperdimensionalHashRing(slots=64, dim=DIM, seed=0)
+    for name in ("alpha", "beta", "gamma", "delta", "epsilon"):
+        ring.add_server(name)
+    return ring
+
+
+class TestServers:
+    def test_add_returns_slot(self):
+        ring = HyperdimensionalHashRing(slots=16, dim=DIM, seed=1)
+        slot = ring.add_server("s1")
+        assert 0 <= slot < 16
+        assert ring.slot_of("s1") == slot
+
+    def test_duplicate_rejected(self, ring):
+        with pytest.raises(InvalidParameterError):
+            ring.add_server("alpha")
+
+    def test_distinct_slots(self, ring):
+        slots = [ring.slot_of(s) for s in ring.servers]
+        assert len(set(slots)) == len(slots)
+
+    def test_full_ring_rejected(self):
+        ring = HyperdimensionalHashRing(slots=2, dim=256, seed=2)
+        ring.add_server("a")
+        ring.add_server("b")
+        with pytest.raises(InvalidParameterError):
+            ring.add_server("c")
+
+    def test_remove(self, ring):
+        ring.remove_server("beta")
+        assert "beta" not in ring.servers
+
+    def test_route_without_servers(self):
+        ring = HyperdimensionalHashRing(slots=8, dim=256, seed=3)
+        with pytest.raises(EmptyModelError):
+            ring.route("key")
+
+
+class TestRouting:
+    def test_deterministic(self, ring):
+        assert ring.route("user-1") == ring.route("user-1")
+
+    def test_routes_to_nearest_ring_server(self, ring):
+        """HDC similarity routing must agree with plain ring arithmetic."""
+        slots = {server: ring.slot_of(server) for server in ring.servers}
+        for i in range(200):
+            key = f"check-{i}"
+            winner = ring.route(key)
+            key_slot = round(key_to_angle(key) / (2 * np.pi) * ring.slots) % ring.slots
+            ring_dist = {
+                s: min(abs(slot - key_slot), ring.slots - abs(slot - key_slot))
+                for s, slot in slots.items()
+            }
+            best = min(ring_dist.values())
+            assert ring_dist[winner] == best
+
+    def test_route_many_matches_route(self, ring):
+        keys = [f"k{i}" for i in range(50)]
+        assert ring.route_many(keys) == [ring.route(k) for k in keys]
+
+    def test_route_many_empty(self, ring):
+        assert ring.route_many([]) == []
+
+    def test_balance(self, ring):
+        keys = [f"load-{i}" for i in range(3000)]
+        loads = ring.load_distribution(keys)
+        assert sum(loads.values()) == 3000
+        assert all(count > 0 for count in loads.values())
+
+
+class TestMinimalDisruption:
+    """The consistent-hashing contract (Karger et al.)."""
+
+    def test_adding_server_moves_few_keys(self):
+        ring = HyperdimensionalHashRing(slots=128, dim=DIM, seed=4)
+        for name in [f"s{i}" for i in range(8)]:
+            ring.add_server(name)
+        keys = [f"key-{i}" for i in range(2000)]
+        before = ring.route_many(keys)
+        ring.add_server("newcomer")
+        after = ring.route_many(keys)
+        moved = sum(a != b for a, b in zip(before, after))
+        # Expected fraction ≈ 1/9; allow generous slack for slot granularity.
+        assert moved / len(keys) < 0.3
+
+    def test_moved_keys_go_to_new_server_only(self):
+        ring = HyperdimensionalHashRing(slots=128, dim=DIM, seed=5)
+        for name in [f"s{i}" for i in range(6)]:
+            ring.add_server(name)
+        keys = [f"key-{i}" for i in range(1500)]
+        before = ring.route_many(keys)
+        ring.add_server("fresh")
+        after = ring.route_many(keys)
+        for b, a in zip(before, after):
+            if b != a:
+                assert a == "fresh"
+
+    def test_removing_server_redistributes_only_its_keys(self):
+        ring = HyperdimensionalHashRing(slots=128, dim=DIM, seed=6)
+        for name in [f"s{i}" for i in range(6)]:
+            ring.add_server(name)
+        keys = [f"key-{i}" for i in range(1500)]
+        before = dict(zip(keys, ring.route_many(keys)))
+        ring.remove_server("s3")
+        after = dict(zip(keys, ring.route_many(keys)))
+        for key in keys:
+            if before[key] != "s3":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "s3"
+
+    def test_invalid_slots(self):
+        with pytest.raises(InvalidParameterError):
+            HyperdimensionalHashRing(slots=1, dim=128)

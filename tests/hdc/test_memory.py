@@ -1,0 +1,123 @@
+"""Tests for the item (cleanup) memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyModelError,
+    InvalidParameterError,
+)
+from repro.hdc import ItemMemory, bind, random_hypervectors
+
+
+@pytest.fixture
+def memory(rng, dim):
+    mem = ItemMemory(dim)
+    hvs = random_hypervectors(5, dim, rng)
+    for i, hv in enumerate(hvs):
+        mem.add(f"item{i}", hv)
+    return mem, hvs
+
+
+class TestContainer:
+    def test_len(self, memory):
+        mem, _ = memory
+        assert len(mem) == 5
+
+    def test_contains(self, memory):
+        mem, _ = memory
+        assert "item0" in mem and "missing" not in mem
+
+    def test_keys_insertion_order(self, memory):
+        mem, _ = memory
+        assert mem.keys() == [f"item{i}" for i in range(5)]
+
+    def test_get(self, memory):
+        mem, hvs = memory
+        np.testing.assert_array_equal(mem.get("item2"), hvs[2])
+
+    def test_replace(self, memory, dim):
+        mem, _ = memory
+        new = np.ones(dim, dtype=np.uint8)
+        mem.add("item1", new)
+        np.testing.assert_array_equal(mem.get("item1"), new)
+        assert len(mem) == 5
+
+    def test_remove(self, memory):
+        mem, hvs = memory
+        mem.remove("item2")
+        assert len(mem) == 4 and "item2" not in mem
+        np.testing.assert_array_equal(mem.get("item4"), hvs[4])
+
+    def test_remove_missing_raises(self, memory):
+        mem, _ = memory
+        with pytest.raises(KeyError):
+            mem.remove("missing")
+
+    def test_add_many(self, rng, dim):
+        mem = ItemMemory(dim)
+        mem.add_many((str(i), hv) for i, hv in enumerate(random_hypervectors(3, dim, rng)))
+        assert len(mem) == 3
+
+
+class TestValidation:
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidParameterError):
+            ItemMemory(0)
+
+    def test_dimension_mismatch(self, dim, rng):
+        mem = ItemMemory(dim)
+        with pytest.raises(DimensionMismatchError):
+            mem.add("x", random_hypervectors(1, dim * 2, rng)[0])
+
+    def test_rejects_batch_add(self, dim, rng):
+        mem = ItemMemory(dim)
+        with pytest.raises(InvalidParameterError):
+            mem.add("x", random_hypervectors(2, dim, rng))
+
+    def test_empty_query(self, dim, rng):
+        with pytest.raises(EmptyModelError):
+            ItemMemory(dim).query(random_hypervectors(1, dim, rng)[0])
+
+
+class TestRetrieval:
+    def test_exact_query(self, memory):
+        mem, hvs = memory
+        assert mem.query(hvs[3]) == "item3"
+
+    def test_noisy_query(self, memory, rng, dim):
+        mem, hvs = memory
+        noisy = hvs[1].copy()
+        flip = rng.choice(dim, size=dim // 10, replace=False)
+        noisy[flip] ^= 1
+        assert mem.query(noisy) == "item1"
+
+    def test_query_batch(self, memory):
+        mem, hvs = memory
+        assert mem.query_batch(hvs[[4, 0, 2]]) == ["item4", "item0", "item2"]
+
+    def test_distances_shape(self, memory, rng, dim):
+        mem, _ = memory
+        single = mem.distances(random_hypervectors(1, dim, rng)[0])
+        batch = mem.distances(random_hypervectors(3, dim, rng))
+        assert single.shape == (5,)
+        assert batch.shape == (3, 5)
+
+    def test_cleanup_returns_stored_vector(self, memory, rng, dim):
+        mem, hvs = memory
+        noisy = hvs[0].copy()
+        noisy[: dim // 20] ^= 1
+        np.testing.assert_array_equal(mem.cleanup(noisy), hvs[0])
+
+    def test_unbinding_recovery(self, rng, dim):
+        """The regression decode pattern: cleanup of an unbound vector."""
+        mem = ItemMemory(dim)
+        labels = random_hypervectors(4, dim, rng)
+        for i, hv in enumerate(labels):
+            mem.add(i, hv)
+        key = random_hypervectors(1, dim, rng)[0]
+        bound = bind(key, labels[2])
+        assert mem.query(bind(bound, key)) == 2

@@ -1,0 +1,277 @@
+"""Unit and property-based tests for the HDC operations (Figure 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.hdc import (
+    bind,
+    bind_all,
+    bundle,
+    hamming_distance,
+    inverse_permute,
+    majority_from_counts,
+    pairwise_hamming,
+    pairwise_similarity,
+    permute,
+    random_hypervectors,
+    similarity,
+)
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+def bit_vectors(dim: int):
+    return arrays(np.uint8, dim, elements=bits)
+
+
+class TestBind:
+    def test_commutative(self, rng, dim):
+        a, b = random_hypervectors(2, dim, rng)
+        np.testing.assert_array_equal(bind(a, b), bind(b, a))
+
+    def test_self_inverse(self, rng, dim):
+        a, b = random_hypervectors(2, dim, rng)
+        np.testing.assert_array_equal(bind(a, bind(a, b)), b)
+
+    def test_identity_element(self, rng, dim):
+        a = random_hypervectors(1, dim, rng)[0]
+        np.testing.assert_array_equal(bind(a, np.zeros(dim, dtype=np.uint8)), a)
+
+    def test_output_dissimilar_to_operands(self, rng):
+        a, b = random_hypervectors(2, 50_000, rng)
+        bound = bind(a, b)
+        assert abs(float(hamming_distance(bound, a)) - 0.5) < 0.02
+        assert abs(float(hamming_distance(bound, b)) - 0.5) < 0.02
+
+    def test_distance_preserving(self, rng, dim):
+        a, b, c = random_hypervectors(3, dim, rng)
+        d_before = hamming_distance(a, b)
+        d_after = hamming_distance(bind(a, c), bind(b, c))
+        assert float(d_before) == pytest.approx(float(d_after))
+
+    def test_broadcasts_over_batch(self, rng, dim):
+        batch = random_hypervectors(5, dim, rng)
+        key = random_hypervectors(1, dim, rng)[0]
+        out = bind(batch, key)
+        assert out.shape == (5, dim)
+        np.testing.assert_array_equal(out[2], bind(batch[2], key))
+
+    def test_dimension_mismatch(self, rng):
+        a = random_hypervectors(1, 16, rng)[0]
+        b = random_hypervectors(1, 32, rng)[0]
+        with pytest.raises(DimensionMismatchError):
+            bind(a, b)
+
+    @settings(max_examples=25)
+    @given(a=bit_vectors(64), b=bit_vectors(64))
+    def test_property_self_inverse(self, a, b):
+        np.testing.assert_array_equal(bind(a, bind(a, b)), b)
+
+    @settings(max_examples=25)
+    @given(a=bit_vectors(64), b=bit_vectors(64), c=bit_vectors(64))
+    def test_property_associative(self, a, b, c):
+        np.testing.assert_array_equal(bind(bind(a, b), c), bind(a, bind(b, c)))
+
+
+class TestBindAll:
+    def test_equals_repeated_bind(self, rng, dim):
+        hvs = random_hypervectors(4, dim, rng)
+        expected = bind(bind(bind(hvs[0], hvs[1]), hvs[2]), hvs[3])
+        np.testing.assert_array_equal(bind_all(hvs), expected)
+
+    def test_accepts_sequence(self, rng, dim):
+        hvs = random_hypervectors(3, dim, rng)
+        np.testing.assert_array_equal(bind_all(list(hvs)), bind_all(hvs))
+
+    def test_rejects_single_vector(self, rng, dim):
+        with pytest.raises(InvalidParameterError):
+            bind_all(random_hypervectors(1, dim, rng)[0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            bind_all([])
+
+
+class TestBundle:
+    def test_majority_odd(self):
+        stack = np.array(
+            [[1, 0, 1, 0], [1, 1, 0, 0], [1, 0, 0, 1]], dtype=np.uint8
+        )
+        np.testing.assert_array_equal(bundle(stack), [1, 0, 0, 0])
+
+    def test_similar_to_operands(self, rng):
+        hvs = random_hypervectors(5, 50_000, rng)
+        out = bundle(hvs, seed=rng)
+        for hv in hvs:
+            # Majority of 5: each operand agrees with the bundle whenever it
+            # sides with at least 2 of the other 4 — probability 11/16.
+            assert float(similarity(out, hv)) > 0.6
+
+    def test_tie_break_zeros(self):
+        stack = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(bundle(stack, tie_break="zeros"), [0, 0])
+
+    def test_tie_break_ones(self):
+        stack = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(bundle(stack, tie_break="ones"), [1, 1])
+
+    def test_tie_break_alternate(self):
+        stack = np.array([[1, 0, 1, 0], [0, 1, 0, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(bundle(stack, tie_break="alternate"), [0, 1, 0, 1])
+
+    def test_tie_break_random_balanced(self):
+        stack = np.array([np.ones(20_000), np.zeros(20_000)], dtype=np.uint8)
+        out = bundle(stack, tie_break="random", seed=0)
+        assert abs(out.mean() - 0.5) < 0.02
+
+    def test_tie_break_random_reproducible(self):
+        stack = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        a = bundle(stack, tie_break="random", seed=3)
+        b = bundle(stack, tie_break="random", seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_tie_break(self, rng, dim):
+        with pytest.raises(InvalidParameterError):
+            bundle(random_hypervectors(2, dim, rng), tie_break="bogus")
+
+    def test_xor_distributes_over_majority(self, rng, dim):
+        """Binding distributes over bundling (paper Section 2.1)."""
+        hvs = random_hypervectors(3, dim, rng)
+        key = random_hypervectors(1, dim, rng)[0]
+        left = bind(bundle(hvs), key)
+        right = bundle(np.bitwise_xor(hvs, key[None, :]))
+        np.testing.assert_array_equal(left, right)
+
+
+class TestMajorityFromCounts:
+    def test_matches_bundle(self, rng, dim):
+        hvs = random_hypervectors(7, dim, rng)
+        counts = hvs.sum(axis=0, dtype=np.int64)
+        np.testing.assert_array_equal(
+            majority_from_counts(counts, 7), bundle(hvs)
+        )
+
+    def test_invalid_policy(self):
+        with pytest.raises(InvalidParameterError):
+            majority_from_counts(np.array([1]), 2, tie_break="nope")
+
+
+class TestPermute:
+    def test_cyclic_shift(self):
+        hv = np.array([1, 0, 0, 0], dtype=np.uint8)
+        np.testing.assert_array_equal(permute(hv, 1), [0, 1, 0, 0])
+
+    def test_inverse(self, rng, dim):
+        hv = random_hypervectors(1, dim, rng)[0]
+        np.testing.assert_array_equal(inverse_permute(permute(hv, 7), 7), hv)
+
+    def test_full_cycle_is_identity(self, rng, dim):
+        hv = random_hypervectors(1, dim, rng)[0]
+        np.testing.assert_array_equal(permute(hv, dim), hv)
+
+    def test_decorrelates(self, rng):
+        hv = random_hypervectors(1, 50_000, rng)[0]
+        assert abs(float(hamming_distance(permute(hv), hv)) - 0.5) < 0.02
+
+    def test_composition(self, rng, dim):
+        hv = random_hypervectors(1, dim, rng)[0]
+        np.testing.assert_array_equal(permute(permute(hv, 2), 3), permute(hv, 5))
+
+    def test_distributes_over_bind(self, rng, dim):
+        a, b = random_hypervectors(2, dim, rng)
+        np.testing.assert_array_equal(
+            permute(bind(a, b), 3), bind(permute(a, 3), permute(b, 3))
+        )
+
+    def test_rejects_non_integer_shift(self, rng, dim):
+        with pytest.raises(InvalidParameterError):
+            permute(random_hypervectors(1, dim, rng)[0], 1.5)
+
+
+class TestDistances:
+    def test_identical_is_zero(self, rng, dim):
+        hv = random_hypervectors(1, dim, rng)[0]
+        assert float(hamming_distance(hv, hv)) == 0.0
+
+    def test_complement_is_one(self, rng, dim):
+        hv = random_hypervectors(1, dim, rng)[0]
+        assert float(hamming_distance(hv, 1 - hv)) == 1.0
+
+    def test_similarity_complements_distance(self, rng, dim):
+        a, b = random_hypervectors(2, dim, rng)
+        assert float(similarity(a, b)) == pytest.approx(
+            1.0 - float(hamming_distance(a, b))
+        )
+
+    def test_known_value(self):
+        a = np.array([0, 0, 0, 0], dtype=np.uint8)
+        b = np.array([1, 0, 1, 0], dtype=np.uint8)
+        assert float(hamming_distance(a, b)) == 0.5
+
+    def test_batch_against_single(self, rng, dim):
+        batch = random_hypervectors(6, dim, rng)
+        probe = random_hypervectors(1, dim, rng)[0]
+        out = hamming_distance(batch, probe)
+        assert out.shape == (6,)
+        assert float(out[3]) == pytest.approx(
+            float(hamming_distance(batch[3], probe))
+        )
+
+    @settings(max_examples=25)
+    @given(a=bit_vectors(64), b=bit_vectors(64), c=bit_vectors(64))
+    def test_property_triangle_inequality(self, a, b, c):
+        ab = float(hamming_distance(a, b))
+        bc = float(hamming_distance(b, c))
+        ac = float(hamming_distance(a, c))
+        assert ac <= ab + bc + 1e-12
+
+    @settings(max_examples=25)
+    @given(a=bit_vectors(64), b=bit_vectors(64))
+    def test_property_symmetry(self, a, b):
+        assert float(hamming_distance(a, b)) == float(hamming_distance(b, a))
+
+
+class TestPairwise:
+    def test_matches_pointwise(self, rng):
+        vecs = random_hypervectors(8, 512, rng)
+        matrix = pairwise_hamming(vecs)
+        for i in range(8):
+            for j in range(8):
+                assert matrix[i, j] == pytest.approx(
+                    float(hamming_distance(vecs[i], vecs[j]))
+                )
+
+    def test_cross_matrices(self, rng):
+        a = random_hypervectors(5, 256, rng)
+        b = random_hypervectors(3, 256, rng)
+        out = pairwise_hamming(a, b)
+        assert out.shape == (5, 3)
+        assert out[4, 2] == pytest.approx(float(hamming_distance(a[4], b[2])))
+
+    def test_diagonal_zero(self, rng):
+        vecs = random_hypervectors(6, 128, rng)
+        assert np.diagonal(pairwise_hamming(vecs)).max() == 0.0
+
+    def test_similarity_complement(self, rng):
+        vecs = random_hypervectors(4, 128, rng)
+        np.testing.assert_allclose(
+            pairwise_similarity(vecs), 1.0 - pairwise_hamming(vecs)
+        )
+
+    @pytest.mark.parametrize("dim", [7, 8, 63, 64, 65])
+    def test_non_multiple_of_eight_dims(self, rng, dim):
+        """The packed popcount path must handle padding correctly."""
+        a = random_hypervectors(3, dim, rng)
+        b = random_hypervectors(4, dim, rng)
+        expected = (a[:, None, :] != b[None, :, :]).mean(axis=-1)
+        np.testing.assert_allclose(pairwise_hamming(a, b), expected)
+
+    def test_rejects_non_matrix(self, rng, dim):
+        with pytest.raises(InvalidParameterError):
+            pairwise_hamming(random_hypervectors(2, dim, rng)[0])

@@ -1,0 +1,150 @@
+"""Tests for the Section 4.1 information-content analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.basis import LegacyLevelBasis, LevelBasis, RandomBasis
+from repro.exceptions import InvalidParameterError
+from repro.info import (
+    empirical_column_entropy,
+    entropy,
+    information_content,
+    interpolated_level_set_entropy,
+    legacy_level_set_entropy,
+    log2_binomial,
+    random_set_entropy,
+)
+
+
+class TestElementaryQuantities:
+    def test_information_content_of_fair_coin(self):
+        assert information_content(0.5) == pytest.approx(1.0)
+
+    def test_information_content_of_certainty(self):
+        assert information_content(1.0) == pytest.approx(0.0)
+
+    def test_rare_events_carry_more(self):
+        assert information_content(0.01) > information_content(0.1)
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_invalid_probability(self, p):
+        with pytest.raises(InvalidParameterError):
+            information_content(p)
+
+    def test_entropy_uniform(self):
+        assert entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
+
+    def test_entropy_deterministic(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_entropy_requires_normalised(self):
+        with pytest.raises(InvalidParameterError):
+            entropy(np.array([0.5, 0.2]))
+
+    def test_entropy_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            entropy(np.array([1.1, -0.1]))
+
+    def test_log2_binomial_small(self):
+        assert log2_binomial(5, 2) == pytest.approx(math.log2(10))
+
+    def test_log2_binomial_large_stable(self):
+        value = log2_binomial(10_000, 5_000)
+        # Stirling: log2 C(2n, n) ≈ 2n − log2(sqrt(πn))
+        assert value == pytest.approx(10_000 - math.log2(math.sqrt(math.pi * 5000)), rel=1e-3)
+
+    def test_log2_binomial_validation(self):
+        with pytest.raises(InvalidParameterError):
+            log2_binomial(5, 6)
+
+
+class TestGenerationEntropies:
+    def test_random_set_entropy(self):
+        assert random_set_entropy(10, 1000) == 10_000
+
+    def test_ordering_matches_section_41(self):
+        """legacy < interpolated < random, for any realistic m at large d."""
+        m, d = 16, 10_000
+        assert (
+            legacy_level_set_entropy(m, d)
+            < interpolated_level_set_entropy(m, d)  # noqa: W503
+            < random_set_entropy(m, d)  # noqa: W503
+        )
+
+    def test_interpolated_closed_form(self):
+        assert interpolated_level_set_entropy(9, 100) == pytest.approx(
+            100 * (2 + 0.5 * math.log2(8))
+        )
+
+    def test_interpolated_two_levels(self):
+        # Two levels are just two random anchors.
+        assert interpolated_level_set_entropy(2, 64) == 128
+
+    def test_legacy_entropy_components(self):
+        """d bits for L1 plus the multinomial block-assignment count."""
+        d = 100
+        # 50 unflipped positions; 50 flips split into 3 blocks of 17/17/16.
+        multinomial = (
+            math.lgamma(101)
+            - math.lgamma(51)
+            - 2 * math.lgamma(18)
+            - math.lgamma(17)
+        ) / math.log(2)
+        assert legacy_level_set_entropy(4, d) == pytest.approx(d + multinomial)
+
+    def test_legacy_gap_is_logarithmic_order(self):
+        """The legacy↔interpolated gap is Θ(m log d): small relative to
+        the Θ(m·d) gap separating both from random sets."""
+        m, d = 16, 10_000
+        gap_levels = interpolated_level_set_entropy(m, d) - legacy_level_set_entropy(m, d)
+        gap_random = random_set_entropy(m, d) - interpolated_level_set_entropy(m, d)
+        assert 0 < gap_levels < 0.01 * gap_random
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_set_entropy(0, 10)
+        with pytest.raises(InvalidParameterError):
+            legacy_level_set_entropy(1, 10)
+        with pytest.raises(InvalidParameterError):
+            interpolated_level_set_entropy(1, 10)
+
+
+class TestEmpiricalColumnEntropy:
+    def test_random_set_approaches_m_bits(self):
+        basis = RandomBasis(6, 60_000, seed=0)
+        est = empirical_column_entropy(basis.vectors)
+        assert est == pytest.approx(6.0, abs=0.1)
+
+    def test_level_set_matches_closed_form(self):
+        """Level columns: 2 constants (mass ½) + 2(m−1) step patterns,
+        giving 2 + ½·log₂(m−1) bits per dimension."""
+        m = 9
+        basis = LevelBasis(m, 60_000, seed=1)
+        est = empirical_column_entropy(basis.vectors)
+        assert est == pytest.approx(2 + 0.5 * math.log2(m - 1), abs=0.1)
+
+    def test_level_below_random(self):
+        dim = 30_000
+        level = empirical_column_entropy(LevelBasis(8, dim, seed=2).vectors)
+        random = empirical_column_entropy(RandomBasis(8, dim, seed=2).vectors)
+        assert level < random
+
+    def test_legacy_marginals_match_interpolated(self):
+        """Marginal column distributions coincide (see module docs) —
+        the entropy gap is in the joint, not the marginals."""
+        dim = 60_000
+        legacy = empirical_column_entropy(LegacyLevelBasis(9, dim, seed=3).vectors)
+        modern = empirical_column_entropy(LevelBasis(9, dim, seed=3).vectors)
+        assert legacy == pytest.approx(modern, abs=0.1)
+
+    def test_rejects_large_sets(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_column_entropy(np.zeros((63, 10), dtype=np.uint8))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_column_entropy(np.zeros(10, dtype=np.uint8))

@@ -1,0 +1,125 @@
+"""Tests for the classical baselines anchoring the synthetic workloads."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyModelError, InvalidParameterError
+from repro.learning import KNNBaseline, NearestCentroidBaseline, TrigRegressionBaseline
+
+TWO_PI = 2.0 * math.pi
+
+
+def angular_blobs(rng, centers, per_class=40, kappa=12.0):
+    xs, ys = [], []
+    for label, center in enumerate(centers):
+        theta = rng.vonmises(center, kappa, size=(per_class, len(np.atleast_1d(center))))
+        xs.append(np.mod(theta, TWO_PI))
+        ys.extend([label] * per_class)
+    return np.concatenate(xs), ys
+
+
+class TestNearestCentroid:
+    def test_euclidean_separable(self, rng):
+        x = np.concatenate([rng.normal(0, 0.1, (30, 2)), rng.normal(3, 0.1, (30, 2))])
+        y = [0] * 30 + [1] * 30
+        clf = NearestCentroidBaseline().fit(x, y)
+        assert clf.score(x, y) == 1.0
+
+    def test_circular_metric_handles_wraparound(self, rng):
+        """A class straddling 0/2π defeats the Euclidean centroid but not
+        the circular one — the same failure mode level-hypervectors have."""
+        wrap_class = np.mod(rng.normal(0.0, 0.15, (60, 1)), TWO_PI)  # straddles 0
+        mid_class = rng.normal(math.pi * 0.9, 0.15, (60, 1))
+        x = np.concatenate([wrap_class, mid_class])
+        y = [0] * 60 + [1] * 60
+        euclid = NearestCentroidBaseline("euclidean").fit(x, y).score(x, y)
+        circular = NearestCentroidBaseline("circular").fit(x, y).score(x, y)
+        assert circular == 1.0
+        assert circular > euclid
+
+    def test_predict_before_fit(self):
+        with pytest.raises(EmptyModelError):
+            NearestCentroidBaseline().predict(np.zeros((1, 2)))
+
+    def test_invalid_metric(self):
+        with pytest.raises(InvalidParameterError):
+            NearestCentroidBaseline("cosine")
+
+    def test_label_mismatch(self, rng):
+        with pytest.raises(InvalidParameterError):
+            NearestCentroidBaseline().fit(rng.normal(size=(3, 2)), [0, 1])
+
+
+class TestKNN:
+    def test_separable(self, rng):
+        x, y = angular_blobs(rng, [0.5, 2.5, 4.5])
+        clf = KNNBaseline(k=5, metric="circular").fit(x, y)
+        assert clf.score(x, y) > 0.95
+
+    def test_k_one_memorises(self, rng):
+        x = rng.normal(size=(20, 3))
+        y = list(range(20))
+        clf = KNNBaseline(k=1).fit(x, y)
+        assert clf.predict(x) == y
+
+    def test_k_larger_than_dataset(self, rng):
+        x = rng.normal(size=(5, 2))
+        y = [0, 0, 0, 1, 1]
+        clf = KNNBaseline(k=50).fit(x, y)
+        assert clf.predict(x[:1]) == [0]  # majority of the whole set
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            KNNBaseline(k=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(EmptyModelError):
+            KNNBaseline().predict(np.zeros((1, 2)))
+
+
+class TestTrigRegression:
+    def test_recovers_single_harmonic(self, rng):
+        theta = rng.uniform(0, TWO_PI, 400)
+        y = 2.0 + 3.0 * np.cos(theta - 0.7)
+        model = TrigRegressionBaseline(harmonics=1).fit(theta, y)
+        assert model.score(theta, y) < 1e-20
+
+    def test_recovers_two_harmonics(self, rng):
+        theta = rng.uniform(0, TWO_PI, 400)
+        y = np.cos(theta) + 0.5 * np.sin(2 * theta)
+        assert TrigRegressionBaseline(harmonics=2).fit(theta, y).score(theta, y) < 1e-20
+
+    def test_underfits_with_missing_harmonics(self, rng):
+        theta = rng.uniform(0, TWO_PI, 400)
+        y = np.cos(3 * theta)
+        model = TrigRegressionBaseline(harmonics=1).fit(theta, y)
+        assert model.score(theta, y) > 0.3
+
+    def test_harmonics_zero_predicts_mean(self, rng):
+        theta = rng.uniform(0, TWO_PI, 100)
+        y = rng.normal(5.0, 1.0, 100)
+        model = TrigRegressionBaseline(harmonics=0).fit(theta, y)
+        np.testing.assert_allclose(model.predict(theta), y.mean(), rtol=1e-10)
+
+    def test_multi_feature(self, rng):
+        theta = rng.uniform(0, TWO_PI, (300, 2))
+        y = np.cos(theta[:, 0]) + 2 * np.sin(theta[:, 1])
+        assert TrigRegressionBaseline(harmonics=1).fit(theta, y).score(theta, y) < 1e-18
+
+    def test_feature_count_fixed_after_fit(self, rng):
+        theta = rng.uniform(0, TWO_PI, (50, 2))
+        model = TrigRegressionBaseline().fit(theta, theta[:, 0])
+        with pytest.raises(InvalidParameterError):
+            model.predict(rng.uniform(0, TWO_PI, (5, 3)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(EmptyModelError):
+            TrigRegressionBaseline().predict(np.zeros(3))
+
+    def test_invalid_harmonics(self):
+        with pytest.raises(InvalidParameterError):
+            TrigRegressionBaseline(harmonics=-1)

@@ -1,0 +1,108 @@
+"""Tests for the evaluation metrics, including the paper's normalized ones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.learning import (
+    accuracy,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_squared_error,
+    normalized_accuracy_error,
+    normalized_mse,
+    root_mean_squared_error,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert accuracy([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_string_labels(self):
+        assert accuracy(np.array(["a", "b"]), np.array(["a", "c"])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            accuracy([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(InvalidParameterError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        mat, labels = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert labels == [0, 1]
+        np.testing.assert_array_equal(mat, [[1, 1], [0, 2]])
+
+    def test_diagonal_sum_is_correct_count(self):
+        true = [0, 1, 2, 2, 1]
+        pred = [0, 1, 1, 2, 0]
+        mat, _ = confusion_matrix(true, pred)
+        assert np.trace(mat) == 3
+
+    def test_explicit_label_order(self):
+        mat, labels = confusion_matrix([1, 0], [1, 0], labels=[1, 0])
+        assert labels == [1, 0]
+        np.testing.assert_array_equal(mat, [[1, 0], [0, 1]])
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            confusion_matrix([0, 5], [0, 0], labels=[0, 1])
+
+
+class TestRegressionMetrics:
+    def test_mse(self):
+        assert mean_squared_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(2.5)
+
+    def test_rmse(self):
+        assert root_mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 0.0]) == pytest.approx(1.5)
+
+    def test_zero_for_exact(self):
+        assert mean_squared_error([1.5, 2.5], [1.5, 2.5]) == 0.0
+
+
+class TestNormalizedMetrics:
+    def test_normalized_mse(self):
+        assert normalized_mse(21.9, 441.1) == pytest.approx(21.9 / 441.1)
+
+    def test_normalized_mse_reference_one(self):
+        assert normalized_mse(5.0, 5.0) == 1.0
+
+    def test_normalized_mse_validation(self):
+        with pytest.raises(InvalidParameterError):
+            normalized_mse(1.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            normalized_mse(-1.0, 1.0)
+
+    def test_normalized_accuracy_error_definition(self):
+        """(1 − α)/(1 − ᾱ), Section 6.3."""
+        assert normalized_accuracy_error(0.84, 0.766) == pytest.approx(
+            (1 - 0.84) / (1 - 0.766)
+        )
+
+    def test_equal_accuracy_gives_one(self):
+        assert normalized_accuracy_error(0.7, 0.7) == pytest.approx(1.0)
+
+    def test_better_accuracy_below_one(self):
+        assert normalized_accuracy_error(0.9, 0.7) < 1.0
+
+    def test_perfect_reference_undefined(self):
+        with pytest.raises(InvalidParameterError):
+            normalized_accuracy_error(0.9, 1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalized_accuracy_error(1.2, 0.5)

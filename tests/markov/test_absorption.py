@@ -1,0 +1,129 @@
+"""Tests for the Section 4.2 absorption-time computations.
+
+The three independent routes (tridiagonal solve, ladder closed form,
+dense solve) must agree exactly; Monte-Carlo simulation must agree
+statistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.markov import (
+    BirthDeathChain,
+    absorption_time_profile,
+    expected_absorption_steps,
+    expected_flips_ladder,
+    flips_for_expected_distance,
+)
+
+
+class TestAgreementBetweenMethods:
+    @pytest.mark.parametrize("dim,target", [(10, 3), (100, 30), (1000, 400), (64, 32)])
+    def test_tridiagonal_equals_ladder(self, dim, target):
+        assert expected_absorption_steps(dim, target) == pytest.approx(
+            expected_flips_ladder(dim, target), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("dim,target", [(20, 7), (50, 25), (128, 60)])
+    def test_tridiagonal_equals_dense(self, dim, target):
+        dense = BirthDeathChain.bit_flip_chain(dim, target).absorption_times_dense()
+        profile = absorption_time_profile(dim, target)
+        np.testing.assert_allclose(profile, dense, rtol=1e-9)
+
+    def test_monte_carlo_agrees(self):
+        dim, target = 40, 15
+        expected = expected_absorption_steps(dim, target)
+        chain = BirthDeathChain.bit_flip_chain(dim, target)
+        samples = chain.simulate_absorption(start=0, trials=3000, seed=0)
+        # Standard error of the mean bounds the comparison.
+        sem = samples.std() / np.sqrt(samples.size)
+        assert abs(samples.mean() - expected) < 5 * sem
+
+
+class TestKnownValues:
+    def test_single_step(self):
+        """From distance 0, any flip moves away: exactly one step."""
+        assert expected_absorption_steps(16, 1) == pytest.approx(1.0)
+
+    def test_two_steps_small_dim(self):
+        # d=2, target=2: from 0 → 1 (1 step); from 1, move up w.p. 1/2,
+        # down w.p. 1/2; E[steps 1→2] = t with t = 1 + (1/2)(t0 + t) and
+        # returning from 0 costs 1 → t = 3; total = 4.
+        assert expected_absorption_steps(2, 2) == pytest.approx(4.0)
+
+    def test_profile_monotone_decreasing(self):
+        profile = absorption_time_profile(100, 40)
+        assert (np.diff(profile) < 0).all()  # closer states absorb sooner
+
+    def test_steps_grow_with_target(self):
+        values = [expected_absorption_steps(200, t) for t in (10, 50, 100)]
+        assert values[0] < values[1] < values[2]
+
+    def test_absorption_exceeds_target_for_far_targets(self):
+        """Random flips revisit positions, so reaching distance k needs
+        more than k flips once k is an appreciable fraction of d."""
+        assert expected_absorption_steps(100, 50) > 50
+
+
+class TestFlipsForExpectedDistance:
+    def test_zero_distance(self):
+        assert flips_for_expected_distance(100, 0.0) == 0.0
+
+    def test_matches_formula(self):
+        d, delta = 1000, 0.25
+        flips = flips_for_expected_distance(d, delta)
+        realized = (1 - (1 - 2 / d) ** flips) / 2
+        assert realized == pytest.approx(delta, rel=1e-9)
+
+    def test_diverges_toward_half(self):
+        assert flips_for_expected_distance(100, 0.49) > flips_for_expected_distance(
+            100, 0.25
+        )
+        with pytest.raises(InvalidParameterError):
+            flips_for_expected_distance(100, 0.5)
+
+    def test_small_delta_linear_regime(self):
+        """For tiny targets the walk rarely revisits: F ≈ δ·d."""
+        d = 10_000
+        assert flips_for_expected_distance(d, 0.01) == pytest.approx(100, rel=0.02)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("dim,target", [(0, 1), (10, 0), (10, 11), (10, 2.5)])
+    def test_invalid_parameters(self, dim, target):
+        with pytest.raises(InvalidParameterError):
+            expected_absorption_steps(dim, target)
+
+
+class TestBirthDeathChain:
+    def test_transition_matrix_stochastic(self):
+        chain = BirthDeathChain.bit_flip_chain(10, 5)
+        mat = chain.transition_matrix()
+        np.testing.assert_allclose(mat.sum(axis=1), 1.0)
+        assert mat[5, 5] == 1.0  # absorbing barrier
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(InvalidParameterError):
+            BirthDeathChain(np.array([0.6]), np.array([0.6]))
+
+    def test_down_at_zero_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BirthDeathChain(np.array([0.5, 0.5]), np.array([0.1, 0.1]))
+
+    def test_unreachable_barrier_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BirthDeathChain(np.array([0.5, 0.0]), np.array([0.0, 0.5]))
+
+    def test_simulation_start_validation(self):
+        chain = BirthDeathChain.bit_flip_chain(10, 5)
+        with pytest.raises(InvalidParameterError):
+            chain.simulate_absorption(start=9)
+
+    def test_simulation_reproducible(self):
+        chain = BirthDeathChain.bit_flip_chain(20, 8)
+        a = chain.simulate_absorption(trials=50, seed=1)
+        b = chain.simulate_absorption(trials=50, seed=1)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,87 @@
+"""Tests for the Thomas-algorithm tridiagonal solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.markov import solve_tridiagonal
+
+
+def dense_from_bands(lower, diag, upper):
+    n = len(diag)
+    mat = np.diag(diag)
+    for i in range(n - 1):
+        mat[i + 1, i] = lower[i]
+        mat[i, i + 1] = upper[i]
+    return mat
+
+
+class TestSolveTridiagonal:
+    def test_identity_system(self):
+        x = solve_tridiagonal(np.zeros(2), np.ones(3), np.zeros(2), np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(x, [1, 2, 3])
+
+    def test_one_by_one(self):
+        np.testing.assert_allclose(
+            solve_tridiagonal(np.array([]), np.array([4.0]), np.array([]), np.array([8.0])),
+            [2.0],
+        )
+
+    def test_matches_dense_solver(self, rng):
+        n = 50
+        lower = rng.uniform(-1, 1, n - 1)
+        upper = rng.uniform(-1, 1, n - 1)
+        diag = 4.0 + rng.uniform(0, 1, n)  # diagonally dominant
+        rhs = rng.uniform(-5, 5, n)
+        x = solve_tridiagonal(lower, diag, upper, rhs)
+        expected = np.linalg.solve(dense_from_bands(lower, diag, upper), rhs)
+        np.testing.assert_allclose(x, expected, rtol=1e-10)
+
+    def test_residual_is_small(self, rng):
+        n = 200
+        lower = rng.uniform(-1, 1, n - 1)
+        upper = rng.uniform(-1, 1, n - 1)
+        diag = 3.0 + rng.uniform(0, 1, n)
+        rhs = rng.uniform(-1, 1, n)
+        x = solve_tridiagonal(lower, diag, upper, rhs)
+        residual = dense_from_bands(lower, diag, upper) @ x - rhs
+        assert np.abs(residual).max() < 1e-10
+
+    def test_zero_pivot_detected(self):
+        with pytest.raises(InvalidParameterError):
+            solve_tridiagonal(np.array([1.0]), np.array([0.0, 1.0]), np.array([1.0]), np.array([1.0, 1.0]))
+
+    def test_singular_one_by_one(self):
+        with pytest.raises(InvalidParameterError):
+            solve_tridiagonal(np.array([]), np.array([0.0]), np.array([]), np.array([1.0]))
+
+    def test_inconsistent_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            solve_tridiagonal(np.zeros(3), np.ones(3), np.zeros(2), np.ones(3))
+
+    def test_wrong_rhs_length(self):
+        with pytest.raises(InvalidParameterError):
+            solve_tridiagonal(np.zeros(2), np.ones(3), np.zeros(2), np.ones(4))
+
+    def test_empty_system(self):
+        with pytest.raises(InvalidParameterError):
+            solve_tridiagonal(np.array([]), np.array([]), np.array([]), np.array([]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_property_matches_numpy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        lower = rng.uniform(-1, 1, n - 1)
+        upper = rng.uniform(-1, 1, n - 1)
+        diag = 3.0 + rng.uniform(0, 1, n)
+        rhs = rng.uniform(-1, 1, n)
+        x = solve_tridiagonal(lower, diag, upper, rhs)
+        expected = np.linalg.solve(dense_from_bands(lower, diag, upper), rhs)
+        np.testing.assert_allclose(x, expected, rtol=1e-8, atol=1e-10)

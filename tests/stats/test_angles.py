@@ -1,0 +1,77 @@
+"""Tests for angle wrapping and time↔angle conversions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.stats import (
+    angle_to_time,
+    degrees_to_radians,
+    radians_to_degrees,
+    time_to_angle,
+    wrap_angle,
+    wrap_angle_signed,
+)
+
+TWO_PI = 2.0 * math.pi
+
+
+class TestWrapping:
+    def test_wrap_identity_in_range(self):
+        assert float(wrap_angle(1.0)) == pytest.approx(1.0)
+
+    def test_wrap_negative(self):
+        assert float(wrap_angle(-math.pi / 2)) == pytest.approx(3 * math.pi / 2)
+
+    def test_wrap_multiple_turns(self):
+        assert float(wrap_angle(5 * TWO_PI + 0.25)) == pytest.approx(0.25)
+
+    def test_wrap_signed_range(self):
+        assert float(wrap_angle_signed(3 * math.pi / 2)) == pytest.approx(-math.pi / 2)
+        assert float(wrap_angle_signed(math.pi)) == pytest.approx(-math.pi)
+
+    @settings(max_examples=50)
+    @given(theta=st.floats(min_value=-1000, max_value=1000))
+    def test_property_wrap_ranges(self, theta):
+        assert 0.0 <= float(wrap_angle(theta)) < TWO_PI
+        assert -math.pi <= float(wrap_angle_signed(theta)) < math.pi
+
+    @settings(max_examples=50)
+    @given(theta=st.floats(min_value=-100, max_value=100))
+    def test_property_wrap_preserves_direction(self, theta):
+        wrapped = float(wrap_angle(theta))
+        assert math.cos(wrapped) == pytest.approx(math.cos(theta), abs=1e-9)
+        assert math.sin(wrapped) == pytest.approx(math.sin(theta), abs=1e-9)
+
+
+class TestTimeConversion:
+    def test_hours_to_angle(self):
+        assert float(time_to_angle(6.0, 24.0)) == pytest.approx(math.pi / 2)
+        assert float(time_to_angle(24.0, 24.0)) == pytest.approx(0.0)
+
+    def test_round_trip(self):
+        hours = np.array([0.0, 5.5, 12.0, 23.99])
+        back = angle_to_time(time_to_angle(hours, 24.0), 24.0)
+        np.testing.assert_allclose(back, hours, atol=1e-9)
+
+    def test_invalid_period(self):
+        with pytest.raises(InvalidParameterError):
+            time_to_angle(1.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            angle_to_time(1.0, -24.0)
+
+
+class TestDegreeConversion:
+    def test_known_values(self):
+        assert float(degrees_to_radians(180.0)) == pytest.approx(math.pi)
+        assert float(radians_to_degrees(math.pi / 2)) == pytest.approx(90.0)
+
+    def test_round_trip(self):
+        degs = np.linspace(-720, 720, 37)
+        np.testing.assert_allclose(radians_to_degrees(degrees_to_radians(degs)), degs)

@@ -1,0 +1,81 @@
+"""Tests for circular–linear and circular–circular association."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.stats import (
+    circular_circular_correlation,
+    circular_linear_correlation,
+)
+
+TWO_PI = 2.0 * math.pi
+
+
+class TestCircularLinear:
+    def test_perfect_sinusoid(self, rng):
+        theta = rng.uniform(0, TWO_PI, 500)
+        x = 3.0 * np.cos(theta - 1.0) + 7.0
+        assert circular_linear_correlation(theta, x) == pytest.approx(1.0, abs=1e-9)
+
+    def test_independence(self, rng):
+        theta = rng.uniform(0, TWO_PI, 5000)
+        x = rng.normal(size=5000)
+        assert circular_linear_correlation(theta, x) < 0.05
+
+    def test_noisy_association_in_between(self, rng):
+        theta = rng.uniform(0, TWO_PI, 2000)
+        x = np.cos(theta) + rng.normal(0, 1.0, 2000)
+        r = circular_linear_correlation(theta, x)
+        assert 0.3 < r < 0.9
+
+    def test_phase_invariance(self, rng):
+        theta = rng.uniform(0, TWO_PI, 1000)
+        x1 = np.cos(theta)
+        x2 = np.cos(theta - 2.0)
+        a = circular_linear_correlation(theta, x1)
+        b = circular_linear_correlation(theta, x2)
+        assert a == pytest.approx(b, abs=1e-6)
+
+    def test_range(self, rng):
+        theta = rng.uniform(0, TWO_PI, 300)
+        x = rng.normal(size=300)
+        assert 0.0 <= circular_linear_correlation(theta, x) <= 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            circular_linear_correlation(np.zeros(5), np.zeros(4))
+
+    def test_too_few_observations(self):
+        with pytest.raises(InvalidParameterError):
+            circular_linear_correlation(np.zeros(2), np.zeros(2))
+
+
+class TestCircularCircular:
+    def test_corotation(self, rng):
+        alpha = rng.vonmises(0, 2.0, 1000)
+        beta = alpha + rng.vonmises(0, 20.0, 1000)  # co-rotating with noise
+        assert circular_circular_correlation(alpha, beta) > 0.5
+
+    def test_counter_rotation(self, rng):
+        alpha = rng.vonmises(0, 2.0, 1000)
+        beta = -alpha + rng.vonmises(0, 20.0, 1000)
+        assert circular_circular_correlation(alpha, beta) < -0.5
+
+    def test_independence(self, rng):
+        alpha = rng.vonmises(0.0, 1.0, 5000)
+        beta = rng.vonmises(1.0, 1.0, 5000)
+        assert abs(circular_circular_correlation(alpha, beta)) < 0.05
+
+    def test_range(self, rng):
+        alpha = rng.vonmises(0.0, 1.0, 200)
+        beta = rng.vonmises(0.0, 1.0, 200)
+        assert -1.0 <= circular_circular_correlation(alpha, beta) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            circular_circular_correlation(np.zeros(3), np.zeros(2))

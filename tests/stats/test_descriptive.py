@@ -1,0 +1,104 @@
+"""Tests for circular descriptive statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.stats import (
+    circular_mean,
+    circular_range,
+    circular_std,
+    circular_variance,
+    resultant_length,
+)
+
+TWO_PI = 2.0 * math.pi
+
+
+class TestCircularMean:
+    def test_wraparound_case(self):
+        """The textbook motivation: mean of 1° and 359° is 0°, not 180°."""
+        mean = circular_mean(np.deg2rad([1.0, 359.0]))
+        assert mean == pytest.approx(0.0, abs=1e-9) or mean == pytest.approx(
+            TWO_PI, abs=1e-9
+        )
+
+    def test_aligned_sample(self):
+        assert circular_mean(np.full(5, 1.2)) == pytest.approx(1.2)
+
+    def test_weighted(self):
+        mean = circular_mean(np.array([0.0, math.pi / 2]), weights=np.array([3.0, 1.0]))
+        assert 0.0 < mean < math.pi / 4
+
+    def test_rotation_equivariance(self, rng):
+        theta = rng.uniform(0, 1.0, 50)  # concentrated sample
+        base = circular_mean(theta)
+        shifted = circular_mean(np.mod(theta + 2.0, TWO_PI))
+        assert shifted == pytest.approx(np.mod(base + 2.0, TWO_PI), abs=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            circular_mean(np.array([]))
+
+    def test_weight_validation(self):
+        with pytest.raises(InvalidParameterError):
+            circular_mean(np.array([0.0, 1.0]), weights=np.array([1.0]))
+        with pytest.raises(InvalidParameterError):
+            circular_mean(np.array([0.0, 1.0]), weights=np.array([-1.0, 1.0]))
+
+
+class TestResultantLength:
+    def test_aligned_is_one(self):
+        assert resultant_length(np.full(10, 0.7)) == pytest.approx(1.0)
+
+    def test_balanced_is_zero(self):
+        assert resultant_length(np.array([0.0, math.pi])) == pytest.approx(0.0, abs=1e-12)
+
+    def test_uniform_sample_small(self, rng):
+        theta = rng.uniform(0, TWO_PI, 20_000)
+        assert resultant_length(theta) < 0.02
+
+    def test_monotone_in_concentration(self, rng):
+        tight = rng.vonmises(0.0, 20.0, 2000)
+        loose = rng.vonmises(0.0, 1.0, 2000)
+        assert resultant_length(tight) > resultant_length(loose)
+
+
+class TestVarianceAndStd:
+    def test_variance_complements_resultant(self, rng):
+        theta = rng.vonmises(1.0, 3.0, 500)
+        assert circular_variance(theta) == pytest.approx(1 - resultant_length(theta))
+
+    def test_std_zero_for_aligned(self):
+        assert circular_std(np.full(4, 2.0)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_std_infinite_for_balanced(self):
+        assert circular_std(np.array([0.0, math.pi])) == float("inf")
+
+    def test_std_approximates_linear_sigma_when_concentrated(self, rng):
+        sigma = 0.1
+        theta = np.mod(rng.normal(0.0, sigma, 50_000), TWO_PI)
+        assert circular_std(theta) == pytest.approx(sigma, rel=0.05)
+
+
+class TestCircularRange:
+    def test_single_point(self):
+        assert circular_range(np.array([1.0])) == 0.0
+
+    def test_half_circle(self):
+        theta = np.linspace(0, math.pi, 50)
+        assert circular_range(theta) == pytest.approx(math.pi, abs=1e-9)
+
+    def test_wraparound_cluster(self):
+        """A cluster straddling 0 has a small range despite spanning the
+        numeric extremes of [0, 2π)."""
+        theta = np.array([TWO_PI - 0.2, TWO_PI - 0.1, 0.1, 0.2])
+        assert circular_range(theta) == pytest.approx(0.4, abs=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            circular_range(np.array([]))

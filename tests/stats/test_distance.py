@@ -1,0 +1,87 @@
+"""Tests for circular distance measures."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import arc_distance, chord_distance, circular_distance
+
+angles = st.floats(min_value=-50.0, max_value=50.0)
+
+
+class TestCircularDistance:
+    def test_identical(self):
+        assert float(circular_distance(1.3, 1.3)) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert float(circular_distance(0.0, math.pi)) == pytest.approx(1.0)
+
+    def test_quarter(self):
+        assert float(circular_distance(0.0, math.pi / 2)) == pytest.approx(0.5)
+
+    def test_wrap_invariance(self):
+        assert float(circular_distance(0.1, 2 * math.pi - 0.1)) == pytest.approx(
+            float(circular_distance(0.1, -0.1))
+        )
+
+    def test_vectorised(self):
+        a = np.zeros(4)
+        b = np.array([0.0, math.pi / 2, math.pi, 3 * math.pi / 2])
+        np.testing.assert_allclose(circular_distance(a, b), [0, 0.5, 1, 0.5])
+
+    @settings(max_examples=50)
+    @given(a=angles, b=angles)
+    def test_property_bounds_and_symmetry(self, a, b):
+        rho = float(circular_distance(a, b))
+        assert 0.0 <= rho <= 1.0
+        assert rho == pytest.approx(float(circular_distance(b, a)))
+
+    @settings(max_examples=50)
+    @given(a=angles, shift=angles)
+    def test_property_rotation_invariance(self, a, shift):
+        assert float(circular_distance(a + shift, shift)) == pytest.approx(
+            float(circular_distance(a, 0.0)), abs=1e-9
+        )
+
+
+class TestArcDistance:
+    def test_shortest_way_around(self):
+        assert float(arc_distance(0.1, 2 * math.pi - 0.1)) == pytest.approx(0.2)
+
+    def test_max_is_pi(self):
+        assert float(arc_distance(0.0, math.pi)) == pytest.approx(math.pi)
+
+    @settings(max_examples=50)
+    @given(a=angles, b=angles, c=angles)
+    def test_property_triangle_inequality(self, a, b, c):
+        assert float(arc_distance(a, c)) <= float(arc_distance(a, b)) + float(
+            arc_distance(b, c)
+        ) + 1e-9
+
+    @settings(max_examples=50)
+    @given(a=angles, b=angles)
+    def test_property_relation_to_lund(self, a, b):
+        """ρ = (1 − cos(arc))/2 — the two distances are consistent."""
+        arc = float(arc_distance(a, b))
+        rho = float(circular_distance(a, b))
+        assert rho == pytest.approx((1 - math.cos(arc)) / 2, abs=1e-9)
+
+
+class TestChordDistance:
+    def test_known_values(self):
+        assert float(chord_distance(0.0, math.pi)) == pytest.approx(2.0)
+        assert float(chord_distance(0.0, math.pi / 2)) == pytest.approx(math.sqrt(2))
+
+    @settings(max_examples=50)
+    @given(a=angles, b=angles)
+    def test_property_equals_euclidean_embedding(self, a, b):
+        pa = np.array([math.cos(a), math.sin(a)])
+        pb = np.array([math.cos(b), math.sin(b)])
+        assert float(chord_distance(a, b)) == pytest.approx(
+            float(np.linalg.norm(pa - pb)), abs=1e-9
+        )

@@ -1,0 +1,98 @@
+"""Tests of the top-level package surface.
+
+A downstream user should be able to drive the library entirely from
+``import repro`` plus the documented subpackages; these tests pin that
+contract (exports exist, __all__ is accurate, the README quickstart
+snippet works).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "RandomBasis",
+            "LevelBasis",
+            "LegacyLevelBasis",
+            "CircularBasis",
+            "ScatterBasis",
+            "Embedding",
+            "make_basis",
+            "BSCSpace",
+            "MAPSpace",
+            "ItemMemory",
+            "CentroidClassifier",
+            "HDRegressor",
+            "bind",
+            "bundle",
+            "permute",
+            "similarity",
+            "hamming_distance",
+            "ReproError",
+        ],
+    )
+    def test_key_exports_present(self, name):
+        assert name in repro.__all__
+
+    def test_subpackages_import(self):
+        import repro.analysis
+        import repro.basis
+        import repro.datasets
+        import repro.experiments
+        import repro.hashing
+        import repro.hdc
+        import repro.info
+        import repro.learning
+        import repro.markov
+        import repro.stats
+
+        assert repro.basis.CircularBasis is repro.CircularBasis
+
+    def test_exception_hierarchy(self):
+        for name in (
+            "DimensionMismatchError",
+            "InvalidHypervectorError",
+            "InvalidParameterError",
+            "EncodingDomainError",
+            "EmptyModelError",
+        ):
+            assert issubclass(getattr(repro, name), repro.ReproError)
+
+
+class TestReadmeQuickstart:
+    """The snippet shown in README.md, executed verbatim (small dim)."""
+
+    def test_midnight_wrap_snippet(self):
+        hours = repro.CircularBasis(size=24, dim=10_000, seed=0)
+        emb = hours.circular_embedding(period=24.0)
+        circ_sim = float(repro.similarity(emb.encode(23.0), emb.encode(1.0)))
+
+        level = repro.LevelBasis(size=24, dim=10_000, seed=0).linear_embedding(
+            0.0, 24.0
+        )
+        level_sim = float(repro.similarity(level.encode(23.0), level.encode(1.0)))
+
+        assert circ_sim > 0.85
+        assert level_sim < 0.65
+        assert circ_sim > level_sim + 0.25
+
+    def test_docstring_example(self):
+        hv_23 = repro.CircularBasis(24, 10_000, seed=0).circular_embedding(
+            period=24.0
+        ).encode(23.0)
+        assert hv_23.shape == (10_000,)
+        assert hv_23.dtype == np.uint8

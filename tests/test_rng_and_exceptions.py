@@ -1,0 +1,86 @@
+"""Tests for the RNG plumbing and the exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._rng import ensure_rng, spawn_rngs
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyModelError,
+    EncodingDomainError,
+    InvalidHypervectorError,
+    InvalidParameterError,
+    ReproError,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_reproducible(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 2**31, 20)
+        b = ensure_rng(2).integers(0, 2**31, 20)
+        assert np.any(a != b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(7, 4)
+        assert len(children) == 4
+
+    def test_children_independent_streams(self):
+        a, b = spawn_rngs(7, 2)
+        assert np.any(a.integers(0, 2**31, 50) != b.integers(0, 2**31, 50))
+
+    def test_first_child_stable_regardless_of_count(self):
+        """Experiment drivers rely on spawn(n)[0] being count-invariant."""
+        a = spawn_rngs(7, 2)[0].integers(0, 2**31, 10)
+        b = spawn_rngs(7, 6)[0].integers(0, 2**31, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            DimensionMismatchError,
+            InvalidHypervectorError,
+            InvalidParameterError,
+            EncodingDomainError,
+            EmptyModelError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_catchable_as_such(self):
+        assert issubclass(DimensionMismatchError, ValueError)
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_dimension_mismatch_message(self):
+        err = DimensionMismatchError(64, 32, context="bind")
+        assert "64" in str(err) and "32" in str(err) and "bind" in str(err)
+        assert err.expected == 64 and err.received == 32
+
+    def test_single_except_clause_covers_library(self):
+        with pytest.raises(ReproError):
+            raise EncodingDomainError("out of domain")
