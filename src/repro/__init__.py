@@ -55,8 +55,11 @@ from .exceptions import (
 )
 from .hdc import (
     BSCSpace,
+    BundleAccumulator,
     ItemMemory,
     MAPSpace,
+    PackedBSCSpace,
+    PackedHV,
     bind,
     bundle,
     hamming_distance,
@@ -84,7 +87,10 @@ __all__ = [
     "CircularDiscretizer",
     # HDC substrate
     "BSCSpace",
+    "PackedBSCSpace",
     "MAPSpace",
+    "PackedHV",
+    "BundleAccumulator",
     "ItemMemory",
     "bind",
     "bundle",

@@ -6,6 +6,11 @@ the similarity of every member to a fixed reference member as the
 ``r``-hyperparameter varies.  These functions compute exactly those data
 series; the benchmark harness prints them and the examples render them as
 ASCII heatmaps.
+
+All distances route through the shared packed popcount kernel
+(:func:`repro.hdc.packed.packed_pairwise_hamming`) on each basis set's
+cached packed table — this module derives no distance arithmetic of its
+own.
 """
 
 from __future__ import annotations
@@ -34,7 +39,11 @@ def basis_similarity_matrix(
     r: float = 0.0,
     seed: SeedLike = None,
 ) -> np.ndarray:
-    """Pairwise similarity matrix ``1 − δ`` of a freshly generated basis."""
+    """Pairwise similarity matrix ``1 − δ`` of a freshly generated basis.
+
+    Computed by the basis set itself, i.e. as XOR + popcount over its
+    cached packed table.
+    """
     basis = make_basis(kind, size, dim, r=r, seed=seed)
     return basis.similarity_matrix()
 

@@ -29,7 +29,8 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..hdc.hypervector import as_hypervector
-from ..hdc.ops import hamming_distance, pairwise_hamming, pairwise_similarity
+from ..hdc.ops import hamming_distance
+from ..hdc.packed import PackedHV, coerce_packed, packed_pairwise_hamming
 from .quantize import Discretizer
 
 __all__ = ["BasisSet", "Embedding"]
@@ -51,12 +52,24 @@ class BasisSet(abc.ABC):
         if arr.shape[0] < 1:
             raise InvalidParameterError("a basis set needs at least one hypervector")
         self._vectors = arr
+        self._packed: PackedHV | None = None  # lazily built packed table
 
     # -- table access ---------------------------------------------------------
     @property
     def vectors(self) -> np.ndarray:
         """The ``(m, d)`` table of basis-hypervectors."""
         return self._vectors
+
+    @property
+    def packed(self) -> PackedHV:
+        """The table in bit-packed form, built once and cached.
+
+        This is what the distance kernels and the regression decode scan:
+        ``m × ceil(d / 8)`` bytes instead of ``m × d``.
+        """
+        if self._packed is None:
+            self._packed = PackedHV.pack(self._vectors)
+        return self._packed
 
     @property
     def dim(self) -> int:
@@ -76,12 +89,16 @@ class BasisSet(abc.ABC):
         return float(hamming_distance(self._vectors[i], self._vectors[j]))
 
     def distance_matrix(self) -> np.ndarray:
-        """All-pairs normalized Hamming distance, shape ``(m, m)``."""
-        return pairwise_hamming(self._vectors)
+        """All-pairs normalized Hamming distance, shape ``(m, m)``.
+
+        Runs on the cached packed table (XOR + popcount), so repeated
+        analyses never re-pack the vectors.
+        """
+        return packed_pairwise_hamming(self.packed)
 
     def similarity_matrix(self) -> np.ndarray:
         """All-pairs similarity ``1 − δ`` — the quantity plotted in Figure 3."""
-        return pairwise_similarity(self._vectors)
+        return 1.0 - self.distance_matrix()
 
     @abc.abstractmethod
     def expected_distance(self, i: int, j: int) -> float:
@@ -170,18 +187,29 @@ class Embedding:
         idx = self.indices(values)
         return self.basis[idx]
 
-    def decode(self, hv: np.ndarray) -> np.ndarray:
+    def encode_packed(self, values: np.ndarray | float) -> PackedHV:
+        """Encode value(s) directly to bit-packed hypervector(s).
+
+        Rows are gathered from the cached packed basis table, so encoding
+        a batch of ``n`` values materialises ``n × ceil(d / 8)`` bytes and
+        never touches the unpacked representation.
+        """
+        idx = self.indices(values)
+        return PackedHV(self.basis.packed.data[idx], self.dim)
+
+    def decode(self, hv: np.ndarray | PackedHV) -> np.ndarray:
         """Decode hypervector(s) to representative value(s) ``ξ_l``.
 
         Performs a cleanup against the whole basis table (nearest member by
-        Hamming distance) and returns that member's grid value — exactly
-        the two-step decode ``l = arg min δ(·, L_i)``, ``x = φ_ℓ⁻¹(L_l)``
-        from the paper's regression framework.
+        Hamming distance, via the packed popcount kernel) and returns that
+        member's grid value — exactly the two-step decode
+        ``l = arg min δ(·, L_i)``, ``x = φ_ℓ⁻¹(L_l)`` from the paper's
+        regression framework.  Accepts packed or unpacked queries.
         """
-        arr = as_hypervector(hv)
-        single = arr.ndim == 1
-        batch = arr[None, :] if single else arr
-        dist = pairwise_hamming(batch, self.basis.vectors)
+        packed = coerce_packed(hv, self.dim)
+        single = packed.ndim == 1
+        batch = PackedHV(packed.data[None, :], self.dim) if single else packed
+        dist = packed_pairwise_hamming(batch, self.basis.packed)
         idx = np.argmin(dist, axis=-1)
         values = self.discretizer.value(idx)
         return values[0] if single else values

@@ -21,6 +21,20 @@ from .hypervector import (
     zeros,
 )
 from .memory import ItemMemory
+from .packed import (
+    BundleAccumulator,
+    PackedHV,
+    coerce_packed,
+    is_packed,
+    packed_bind,
+    packed_bind_all,
+    packed_bundle,
+    packed_hamming,
+    packed_pairwise_hamming,
+    packed_permute,
+    packed_width,
+    popcount,
+)
 from .ops import (
     bind,
     bind_all,
@@ -33,7 +47,14 @@ from .ops import (
     permute,
     similarity,
 )
-from .spaces import BSCSpace, MAPSpace, VectorSpace, binary_to_bipolar, bipolar_to_binary
+from .spaces import (
+    BSCSpace,
+    MAPSpace,
+    PackedBSCSpace,
+    VectorSpace,
+    binary_to_bipolar,
+    bipolar_to_binary,
+)
 from .encoders import (
     encode_bound_records,
     encode_keyvalue_record,
@@ -63,9 +84,22 @@ __all__ = [
     "similarity",
     "pairwise_hamming",
     "pairwise_similarity",
+    "PackedHV",
+    "BundleAccumulator",
+    "is_packed",
+    "coerce_packed",
+    "packed_width",
+    "popcount",
+    "packed_bind",
+    "packed_bind_all",
+    "packed_bundle",
+    "packed_permute",
+    "packed_hamming",
+    "packed_pairwise_hamming",
     "ItemMemory",
     "VectorSpace",
     "BSCSpace",
+    "PackedBSCSpace",
     "MAPSpace",
     "binary_to_bipolar",
     "bipolar_to_binary",

@@ -17,11 +17,17 @@ The batched functions take *index* arrays into a basis matrix instead of
 materialised value hypervectors, and chunk their intermediates, so encoding
 tens of thousands of samples at ``d = 10,000`` stays within a laptop's
 memory budget.
+
+The batched encoders can emit bit-packed batches directly
+(``packed=True``): the encoded corpus then lands as a
+:class:`~repro.hdc.packed.PackedHV` of ``n × ceil(d / 8)`` bytes — an 8×
+smaller training set that the packed learning models consume without any
+conversion.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -29,6 +35,7 @@ from .._rng import SeedLike, ensure_rng
 from ..exceptions import DimensionMismatchError, InvalidParameterError
 from .hypervector import as_hypervector
 from .ops import TieBreak, bind_all, bundle, majority_from_counts, permute
+from .packed import PackedHV, packed_width
 
 __all__ = [
     "encode_keyvalue_record",
@@ -76,7 +83,8 @@ def encode_keyvalue_records(
     tie_break: TieBreak = "random",
     seed: SeedLike = None,
     chunk_size: int = 256,
-) -> np.ndarray:
+    packed: bool = False,
+) -> Union[np.ndarray, PackedHV]:
     """Batched key–value record encoding from basis indices.
 
     Encodes ``n`` records at once: record ``t`` is
@@ -94,11 +102,16 @@ def encode_keyvalue_records(
     chunk_size:
         Number of records encoded per chunk; bounds the ``(chunk, k, d)``
         intermediate at roughly ``chunk * k * d`` bytes.
+    packed:
+        When ``True``, pack each encoded chunk as it is produced and
+        return a :class:`~repro.hdc.packed.PackedHV` batch of
+        ``n × ceil(d / 8)`` bytes (the unpacked ``(n, d)`` corpus is
+        never materialised in full).
 
     Returns
     -------
-    numpy.ndarray
-        ``(n, d)`` encoded records.
+    numpy.ndarray or PackedHV
+        ``(n, d)`` encoded records (packed when ``packed=True``).
     """
     keys = as_hypervector(keys)
     basis_vectors = as_hypervector(basis_vectors)
@@ -123,27 +136,48 @@ def encode_keyvalue_records(
     n, k = value_indices.shape
     d = keys.shape[-1]
     rng = ensure_rng(seed)
-    out = np.empty((n, d), dtype=np.uint8)
+    if packed:
+        out = np.empty((n, packed_width(d)), dtype=np.uint8)
+    else:
+        out = np.empty((n, d), dtype=np.uint8)
     for start in range(0, n, chunk_size):
         stop = min(n, start + chunk_size)
         vals = basis_vectors[value_indices[start:stop]]  # (c, k, d)
         bound = np.bitwise_xor(vals, keys[None, :, :])
         counts = bound.sum(axis=1, dtype=np.int64)  # (c, d)
-        out[start:stop] = majority_from_counts(counts, k, tie_break=tie_break, seed=rng)
-    return out
+        encoded = majority_from_counts(counts, k, tie_break=tie_break, seed=rng)
+        out[start:stop] = np.packbits(encoded, axis=-1) if packed else encoded
+    return PackedHV(out, d) if packed else out
 
 
-def encode_bound_records(feature_hvs: Sequence[np.ndarray]) -> np.ndarray:
+def encode_bound_records(
+    feature_hvs: Sequence[Union[np.ndarray, PackedHV]],
+    packed: bool = False,
+) -> Union[np.ndarray, PackedHV]:
     """Encode records as the pure binding of their feature hypervectors.
 
     Each element of ``feature_hvs`` is an ``(n, d)`` array holding one
     feature's hypervector per record; the result is their element-wise XOR
     — e.g. the Beijing encoding ``Y ⊗ D ⊗ H`` (Section 6.2) with
     ``feature_hvs = [year_hvs, day_hvs, hour_hvs]``.
+
+    With ``packed=True`` (or when any feature batch is already a
+    :class:`~repro.hdc.packed.PackedHV`) the XOR runs on packed words and
+    the result is returned packed.
     """
-    arrays = [as_hypervector(f) for f in feature_hvs]
-    if not arrays:
+    features = list(feature_hvs)
+    if not features:
         raise InvalidParameterError("need at least one feature array")
+    if packed or any(getattr(f, "__packed_hv__", False) for f in features):
+        packed_features = [PackedHV.pack(f) for f in features]
+        shape = packed_features[0].shape
+        for hv in packed_features[1:]:
+            if hv.shape != shape:
+                raise InvalidParameterError(
+                    f"all feature arrays must share a shape; got {shape} and {hv.shape}"
+                )
+        return bind_all(packed_features)
+    arrays = [as_hypervector(f) for f in features]
     shape = arrays[0].shape
     for arr in arrays[1:]:
         if arr.shape != shape:

@@ -8,8 +8,12 @@ hypervector has shape ``(d,)``; a batch of ``n`` hypervectors has shape
 operations broadcast over leading axes).
 
 Using one byte per bit keeps the code simple and fully vectorised.  For
-memory-sensitive deployments :func:`pack_bits` / :func:`unpack_bits` convert
-to and from a packed ``uint8`` representation (8 bits per byte).
+memory-sensitive deployments the bit-packed backend in
+:mod:`repro.hdc.packed` stores 8 bits per byte behind the same operations;
+:func:`as_hypervector` transparently unpacks a
+:class:`~repro.hdc.packed.PackedHV` so packed values are accepted anywhere
+an unpacked hypervector is.  :func:`pack_bits` / :func:`unpack_bits` remain
+as the low-level raw-array conversions.
 """
 
 from __future__ import annotations
@@ -109,6 +113,8 @@ def is_hypervector(array: object) -> bool:
     Valid means: a numpy array of at least one dimension whose entries are
     all ``0`` or ``1`` (any integer or boolean dtype is accepted).
     """
+    if getattr(array, "__packed_hv__", False):
+        return True
     if not isinstance(array, np.ndarray) or array.ndim < 1 or array.size == 0:
         return False
     if array.dtype == np.bool_:
@@ -121,10 +127,15 @@ def is_hypervector(array: object) -> bool:
 def as_hypervector(array: object) -> np.ndarray:
     """Validate ``array`` and return it as a ``uint8`` bit array.
 
-    Accepts lists, boolean arrays and any integer array with values in
-    ``{0, 1}``.  Raises :class:`InvalidHypervectorError` otherwise.  The
-    returned array is a copy only when a dtype conversion is required.
+    Accepts lists, boolean arrays, any integer array with values in
+    ``{0, 1}``, and bit-packed :class:`~repro.hdc.packed.PackedHV` values
+    (which are unpacked — this is the coercion boundary that lets packed
+    hypervectors flow through the unpacked API unchanged).  Raises
+    :class:`InvalidHypervectorError` otherwise.  The returned array is a
+    copy only when a conversion is required.
     """
+    if getattr(array, "__packed_hv__", False):
+        return array.unpack()
     arr = np.asarray(array)
     if arr.ndim < 1 or arr.size == 0:
         raise InvalidHypervectorError(

@@ -8,17 +8,23 @@ similarity queries.  It is the retrieval half of every HDC pipeline:
   snapping it to the nearest label hypervector ``L_l``,
 * the consistent-hashing system (:mod:`repro.hashing`) routes requests to
   the most similar server hypervector.
+
+Storage is bit-packed (:mod:`repro.hdc.packed`): every row occupies
+``ceil(d / 8)`` bytes and queries run as XOR + popcount against the packed
+table.  The public API still speaks unpacked arrays — ``add``/``query``
+accept either representation and :meth:`ItemMemory.get` returns unpacked
+bits — so callers written against the byte-per-bit representation work
+unchanged while paying an eighth of the memory.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable
 
 import numpy as np
 
 from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
-from .hypervector import as_hypervector
-from .ops import pairwise_hamming
+from .packed import PackedHV, coerce_packed, is_packed, packed_pairwise_hamming, packed_width
 
 __all__ = ["ItemMemory"]
 
@@ -29,7 +35,8 @@ class ItemMemory:
     Keys may be any hashable label (class ids, server names, level
     indices).  Lookup is an exact nearest-neighbour scan by normalized
     Hamming distance — for the table sizes in HDC applications (tens to a
-    few thousand entries) a vectorised scan is both exact and fast.
+    few thousand entries) a vectorised popcount scan is both exact and
+    fast.
 
     Example
     -------
@@ -47,16 +54,22 @@ class ItemMemory:
         if not isinstance(dim, (int, np.integer)) or isinstance(dim, bool) or dim < 1:
             raise InvalidParameterError(f"dimension must be a positive integer, got {dim!r}")
         self._dim = int(dim)
+        self._width = packed_width(self._dim)
         self._keys: list[Hashable] = []
         self._index: dict[Hashable, int] = {}
-        self._rows: list[np.ndarray] = []
-        self._matrix: np.ndarray | None = None  # lazily rebuilt cache
+        self._rows: list[np.ndarray] = []  # packed (width,) rows
+        self._matrix: np.ndarray | None = None  # lazily rebuilt packed cache
 
     # -- container protocol ---------------------------------------------------
     @property
     def dim(self) -> int:
         """Dimensionality every stored hypervector must have."""
         return self._dim
+
+    @property
+    def nbytes(self) -> int:
+        """Packed bytes held by the table (``len(self) * ceil(dim / 8)``)."""
+        return len(self._rows) * self._width
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -69,21 +82,35 @@ class ItemMemory:
         return list(self._keys)
 
     # -- mutation ---------------------------------------------------------------
-    def add(self, key: Hashable, hv: np.ndarray) -> None:
-        """Insert or replace the hypervector stored under ``key``."""
-        arr = as_hypervector(hv)
-        if arr.ndim != 1:
+    def _coerce_row(self, hv: np.ndarray | PackedHV, context: str) -> np.ndarray:
+        if is_packed(hv) and hv.ndim != 1:
             raise InvalidParameterError(
-                f"ItemMemory stores single hypervectors, got shape {arr.shape}"
+                f"ItemMemory stores single hypervectors, got shape {hv.shape}"
             )
-        if arr.shape[-1] != self._dim:
-            raise DimensionMismatchError(self._dim, arr.shape[-1], "ItemMemory.add")
+        if not is_packed(hv):
+            arr = np.asarray(hv)
+            if arr.ndim != 1:
+                raise InvalidParameterError(
+                    f"ItemMemory stores single hypervectors, got shape {arr.shape}"
+                )
+        packed = coerce_packed(hv)
+        if packed.dim != self._dim:
+            raise DimensionMismatchError(self._dim, packed.dim, context)
+        return packed.data
+
+    def add(self, key: Hashable, hv: np.ndarray | PackedHV) -> None:
+        """Insert or replace the hypervector stored under ``key``.
+
+        Accepts an unpacked ``(d,)`` bit array or a packed
+        :class:`~repro.hdc.packed.PackedHV`; storage is packed either way.
+        """
+        row = self._coerce_row(hv, "ItemMemory.add")
         if key in self._index:
-            self._rows[self._index[key]] = arr
+            self._rows[self._index[key]] = row
         else:
             self._index[key] = len(self._keys)
             self._keys.append(key)
-            self._rows.append(arr)
+            self._rows.append(row)
         self._matrix = None
 
     def add_many(self, items: Iterable[tuple[Hashable, np.ndarray]]) -> None:
@@ -102,38 +129,63 @@ class ItemMemory:
         self._matrix = None
 
     def get(self, key: Hashable) -> np.ndarray:
-        """Return the stored hypervector for ``key`` (a copy-safe view)."""
-        return self._rows[self._index[key]]
+        """Return the stored hypervector for ``key`` as unpacked bits."""
+        return self.get_packed(key).unpack()
+
+    def get_packed(self, key: Hashable) -> PackedHV:
+        """Return the stored hypervector for ``key`` in packed form."""
+        return PackedHV(self._rows[self._index[key]], self._dim)
 
     # -- retrieval ---------------------------------------------------------------
-    def _table(self) -> np.ndarray:
+    def _table(self) -> PackedHV:
         if not self._rows:
             raise EmptyModelError("ItemMemory is empty; nothing to query")
         if self._matrix is None or self._matrix.shape[0] != len(self._rows):
             self._matrix = np.stack(self._rows, axis=0)
-        return self._matrix
+        return PackedHV(self._matrix, self._dim)
 
-    def distances(self, query: np.ndarray) -> np.ndarray:
+    def _coerce_query(self, query: np.ndarray | PackedHV, context: str) -> tuple[PackedHV, bool]:
+        packed = coerce_packed(query)
+        if packed.dim != self._dim:
+            raise DimensionMismatchError(self._dim, packed.dim, context)
+        single = packed.ndim == 1
+        if single:
+            packed = PackedHV(packed.data[None, :], self._dim)
+        if packed.ndim != 2:
+            raise InvalidParameterError(
+                f"{context} expects a single hypervector or an (n, d) batch, "
+                f"got shape {packed.shape}"
+            )
+        return packed, single
+
+    def distances(self, query: np.ndarray | PackedHV) -> np.ndarray:
         """Normalized Hamming distance from ``query`` to every stored item.
 
         ``query`` may be a single hypervector ``(d,)`` (returns ``(k,)``)
         or a batch ``(n, d)`` (returns ``(n, k)``), where ``k`` is the
-        number of stored items, ordered as :meth:`keys`.
+        number of stored items, ordered as :meth:`keys`; packed queries
+        are compared without unpacking anything.
         """
         table = self._table()
-        arr = as_hypervector(query)
-        if arr.shape[-1] != self._dim:
-            raise DimensionMismatchError(self._dim, arr.shape[-1], "ItemMemory.distances")
-        single = arr.ndim == 1
-        batch = arr[None, :] if single else arr
-        dist = pairwise_hamming(batch, table)
+        batch, single = self._coerce_query(query, "ItemMemory.distances")
+        dist = packed_pairwise_hamming(batch, table)
         return dist[0] if single else dist
 
-    def query(self, hv: np.ndarray) -> Hashable:
-        """Return the key of the most similar stored hypervector."""
-        return self.query_batch(np.asarray(hv)[None, :])[0]
+    def query(self, hv: np.ndarray | PackedHV) -> Hashable:
+        """Return the key of the most similar stored hypervector.
 
-    def query_batch(self, hvs: np.ndarray) -> list[Hashable]:
+        Takes exactly one hypervector; use :meth:`query_batch` for a
+        batch (a batch here would silently answer for its first row).
+        """
+        batch, single = self._coerce_query(hv, "ItemMemory.query")
+        if not single:
+            raise InvalidParameterError(
+                f"ItemMemory.query takes a single hypervector, got shape "
+                f"{batch.shape}; use query_batch for batches"
+            )
+        return self.query_batch(batch)[0]
+
+    def query_batch(self, hvs: np.ndarray | PackedHV) -> list[Hashable]:
         """Vectorised :meth:`query` over a batch ``(n, d)``.
 
         Ties are resolved toward the earliest-inserted item, matching
@@ -146,12 +198,13 @@ class ItemMemory:
         winners = np.argmin(dist, axis=-1)
         return [self._keys[i] for i in winners]
 
-    def cleanup(self, hv: np.ndarray) -> np.ndarray:
+    def cleanup(self, hv: np.ndarray | PackedHV) -> np.ndarray:
         """Snap a noisy hypervector to the nearest stored one.
 
         This is the "cleanup memory" role used by the regression decode
         (Section 2.3): the unbound vector ``M ⊗ φ(x̂)`` is approximately a
         label hypervector plus noise; cleanup recovers the exact ``L_l``.
+        Returns unpacked bits regardless of the query representation.
         """
         key = self.query(hv)
         return self.get(key)

@@ -20,16 +20,24 @@ Distances:
 * **hamming_distance** — the normalized Hamming distance
   ``δ : H × H → [0, 1]`` of Section 2.
 * **similarity** — ``1 − δ`` as defined in the paper.
+
+Representation dispatch: every operation accepts both the unpacked
+byte-per-bit arrays and the bit-packed :class:`~repro.hdc.packed.PackedHV`
+backend.  Packed operands are routed to the packed kernels (packed in →
+packed out for bind/bundle/permute) and the distance functions always run
+on packed words via XOR + popcount, which is the shared kernel behind the
+item memory, the classifier and the Figure 3 matrices.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 
 from .._rng import SeedLike, ensure_rng
 from ..exceptions import DimensionMismatchError, InvalidParameterError
+from . import packed as _packed
 from .hypervector import BIT_DTYPE, as_hypervector
 
 __all__ = [
@@ -68,7 +76,13 @@ def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
       (output dissimilar to operands),
     * distance-preserving: binding both sides with the same vector leaves
       the distance unchanged.
+
+    Packed operands stay packed: if either input is a
+    :class:`~repro.hdc.packed.PackedHV` the XOR runs on packed words and
+    a packed result is returned.
     """
+    if _packed.is_packed(a) or _packed.is_packed(b):
+        return _packed.packed_bind(a, b)
     a = as_hypervector(a)
     b = as_hypervector(b)
     _check_same_dim(a, b, "bind")
@@ -82,7 +96,15 @@ def bind_all(hvs: Union[np.ndarray, Sequence[np.ndarray]]) -> np.ndarray:
     hypervectors.  Because XOR is associative and commutative the result is
     order-independent.  Used for multi-feature record encodings such as the
     ``Y ⊗ D ⊗ H`` encoding of the Beijing experiment (Section 6.2).
+    Packed stacks (or sequences containing packed members) reduce on
+    packed words and return a packed result.
     """
+    if _packed.is_packed(hvs):
+        return _packed.packed_bind_all(hvs)
+    if not isinstance(hvs, np.ndarray):
+        hvs = list(hvs)
+        if any(_packed.is_packed(h) for h in hvs):
+            return _packed.packed_bind_all(hvs)
     stack = _as_stack(hvs)
     return np.bitwise_xor.reduce(stack, axis=0)
 
@@ -176,8 +198,16 @@ def bundle(
     is what makes class prototypes (Section 2.2) work.
 
     For an even number of operands ties are possible; see
-    :func:`majority_from_counts` for the tie-breaking policies.
+    :func:`majority_from_counts` for the tie-breaking policies.  Packed
+    stacks bundle through the same counts-then-threshold route (identical
+    bits and identical RNG draws) and return a packed result.
     """
+    if _packed.is_packed(hvs):
+        return _packed.packed_bundle(hvs, tie_break=tie_break, seed=seed)
+    if not isinstance(hvs, np.ndarray):
+        hvs = list(hvs)
+        if any(_packed.is_packed(h) for h in hvs):
+            return _packed.packed_bundle(hvs, tie_break=tie_break, seed=seed)
     stack = _as_stack(hvs)
     counts = stack.sum(axis=0, dtype=np.int64)
     return majority_from_counts(counts, stack.shape[0], tie_break=tie_break, seed=seed)
@@ -189,8 +219,11 @@ def permute(hv: np.ndarray, shifts: int = 1) -> np.ndarray:
     A positive shift moves bits toward higher indices.  Permutation
     decorrelates: ``permute(h)`` is quasi-orthogonal to ``h`` for random
     ``h``.  It distributes over both bind and bundle, and
-    :func:`inverse_permute` undoes it exactly.
+    :func:`inverse_permute` undoes it exactly.  Packed input rotates on
+    packed words and returns a packed result.
     """
+    if _packed.is_packed(hv):
+        return _packed.packed_permute(hv, shifts)
     arr = as_hypervector(hv)
     if not isinstance(shifts, (int, np.integer)) or isinstance(shifts, bool):
         raise InvalidParameterError(f"shifts must be an integer, got {shifts!r}")
@@ -208,7 +241,10 @@ def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     Broadcasts over leading axes: comparing ``(n, d)`` against ``(d,)``
     yields ``(n,)``; comparing ``(n, 1, d)`` against ``(m, d)`` yields
     ``(n, m)``.  Returns a scalar array for two single hypervectors.
+    Packed operands are compared by XOR + popcount without unpacking.
     """
+    if _packed.is_packed(a) or _packed.is_packed(b):
+        return _packed.packed_hamming(a, b)
     a = as_hypervector(a)
     b = as_hypervector(b)
     _check_same_dim(a, b, "hamming_distance")
@@ -226,52 +262,12 @@ def pairwise_hamming(vectors: np.ndarray, others: np.ndarray | None = None) -> n
     ``vectors`` has shape ``(n, d)``; ``others`` defaults to ``vectors``
     and has shape ``(m, d)``.  Returns an ``(n, m)`` matrix.  This is the
     computation behind the Figure 3 heatmaps and behind every
-    nearest-neighbour query in the item memory, so it is kept allocation
-    conscious: comparisons run in chunks when the operand product is large.
+    nearest-neighbour query in the item memory.  It always runs on the
+    shared packed kernel (:func:`repro.hdc.packed.packed_pairwise_hamming`
+    — XOR + popcount in chunks): unpacked operands are packed once per
+    call, :class:`~repro.hdc.packed.PackedHV` operands skip even that.
     """
-    vectors = as_hypervector(vectors)
-    if vectors.ndim != 2:
-        raise InvalidParameterError(
-            f"pairwise_hamming expects a (n, d) matrix, got shape {vectors.shape}"
-        )
-    if others is None:
-        others = vectors
-    else:
-        others = as_hypervector(others)
-        if others.ndim != 2:
-            raise InvalidParameterError(
-                f"pairwise_hamming expects a (m, d) matrix, got shape {others.shape}"
-            )
-        _check_same_dim(vectors, others, "pairwise_hamming")
-
-    n, d = vectors.shape
-    m = others.shape[0]
-    out = np.empty((n, m), dtype=np.float64)
-
-    if hasattr(np, "bitwise_count"):
-        # Fast path: pack bits 8-per-byte and use the hardware popcount.
-        # numpy pads the final byte with zeros for both operands, so the
-        # XOR of the padding is zero and does not perturb the count.
-        packed_a = np.packbits(vectors, axis=-1)
-        packed_b = packed_a if others is vectors else np.packbits(others, axis=-1)
-        width = packed_a.shape[1]
-        max_cells = 64_000_000
-        chunk = max(1, min(n, max_cells // max(1, m * width)))
-        for start in range(0, n, chunk):
-            stop = min(n, start + chunk)
-            xor = np.bitwise_xor(packed_a[start:stop, None, :], packed_b[None, :, :])
-            counts = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
-            out[start:stop] = counts / d
-        return out
-
-    # Fallback: chunked boolean comparison.
-    max_cells = 32_000_000
-    chunk = max(1, min(n, max_cells // max(1, m * d)))
-    for start in range(0, n, chunk):
-        stop = min(n, start + chunk)
-        diff = vectors[start:stop, None, :] != others[None, :, :]
-        out[start:stop] = diff.mean(axis=-1)
-    return out
+    return _packed.packed_pairwise_hamming(vectors, others)
 
 
 def pairwise_similarity(vectors: np.ndarray, others: np.ndarray | None = None) -> np.ndarray:

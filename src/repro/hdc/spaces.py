@@ -3,7 +3,9 @@
 The paper works exclusively in the **binary spatter code** (BSC) space
 ``{0, 1}^d`` with XOR/majority/cyclic-shift arithmetic; :class:`BSCSpace`
 implements it and is the space used by every experiment in this
-reproduction.
+reproduction.  :class:`PackedBSCSpace` is the same space on the
+bit-packed backend of :mod:`repro.hdc.packed` — identical semantics at
+one eighth the memory, with distances on hardware popcount.
 
 :class:`MAPSpace` (multiply–add–permute over bipolar vectors ``{−1, +1}^d``)
 is provided as an extension: it is the other widely deployed discrete VSA
@@ -28,8 +30,16 @@ from .._rng import SeedLike, ensure_rng
 from ..exceptions import InvalidHypervectorError, InvalidParameterError
 from . import ops
 from .hypervector import BIT_DTYPE, DEFAULT_DIMENSION, as_hypervector
+from .packed import PackedHV, coerce_packed, packed_width
 
-__all__ = ["VectorSpace", "BSCSpace", "MAPSpace", "binary_to_bipolar", "bipolar_to_binary"]
+__all__ = [
+    "VectorSpace",
+    "BSCSpace",
+    "PackedBSCSpace",
+    "MAPSpace",
+    "binary_to_bipolar",
+    "bipolar_to_binary",
+]
 
 
 def binary_to_bipolar(hv: np.ndarray) -> np.ndarray:
@@ -144,6 +154,71 @@ class BSCSpace(VectorSpace):
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return ops.hamming_distance(a, b)
+
+
+class PackedBSCSpace(VectorSpace):
+    """Binary spatter codes on the bit-packed backend (8 bits per byte).
+
+    Same semantics as :class:`BSCSpace` — the packed kernels are
+    bit-for-bit equivalent to the unpacked operations — but hypervectors
+    are :class:`~repro.hdc.packed.PackedHV` values occupying
+    ``ceil(d / 8)`` bytes each, and bind/permute/distance never unpack.
+    This is the space to use at production scale: an item memory of one
+    million ``d = 10,000`` vectors drops from ~10 GB to ~1.25 GB, and
+    distances run on hardware popcount.
+
+    ``random`` draws packed bytes directly (8 bits per RNG byte), so the
+    sampled *distribution* matches :class:`BSCSpace` but the stream of a
+    shared seed does not; use :meth:`pack` to bring vectors sampled
+    elsewhere into the packed representation.
+    """
+
+    def __init__(
+        self,
+        dim: int = DEFAULT_DIMENSION,
+        seed: SeedLike = None,
+        tie_break: ops.TieBreak = "random",
+    ) -> None:
+        super().__init__(dim, seed)
+        if tie_break not in ("random", "zeros", "ones", "alternate"):
+            raise InvalidParameterError(f"unknown tie_break policy {tie_break!r}")
+        self.tie_break = tie_break
+        self._width = packed_width(self._dim)
+
+    @property
+    def width(self) -> int:
+        """Packed bytes per hypervector: ``ceil(dim / 8)``."""
+        return self._width
+
+    def random(self, count: int = 1) -> PackedHV:
+        if count < 0:
+            raise InvalidParameterError(f"count must be non-negative, got {count}")
+        raw = self._rng.integers(0, 256, size=(int(count), self._width), dtype=np.uint8)
+        return PackedHV.from_bytes(raw, self._dim)
+
+    def pack(self, hv: np.ndarray) -> PackedHV:
+        """Coerce an unpacked (or packed) hypervector into this space."""
+        return coerce_packed(hv, self._dim)
+
+    def unpack(self, hv: PackedHV) -> np.ndarray:
+        """Return the unpacked ``uint8`` bit array of ``hv``."""
+        return self.pack(hv).unpack()
+
+    def bind(self, a, b) -> PackedHV:
+        return ops.bind(self.pack(a), self.pack(b))
+
+    def bundle(self, hvs) -> PackedHV:
+        if isinstance(hvs, (PackedHV, np.ndarray)):
+            hvs = self.pack(hvs)
+        else:
+            hvs = [self.pack(h) for h in hvs]
+        return ops.bundle(hvs, tie_break=self.tie_break, seed=self._rng)
+
+    def permute(self, hv, shifts: int = 1) -> PackedHV:
+        return ops.permute(self.pack(hv), shifts)
+
+    def distance(self, a, b) -> np.ndarray:
+        return ops.hamming_distance(self.pack(a), self.pack(b))
 
 
 class MAPSpace(VectorSpace):

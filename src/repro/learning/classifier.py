@@ -11,21 +11,38 @@ the widely used retraining extension (beyond the paper): misclassified
 samples are added to their true class accumulator and subtracted from the
 wrongly predicted one, in the spirit of perceptron updates — the paper's
 single-pass training is the ``epochs = 0`` special case.
+
+Each class is backed by a streaming
+:class:`~repro.hdc.packed.BundleAccumulator` (O(d) memory regardless of
+sample count) and the materialised prototypes are kept bit-packed, so
+``decision_distances`` runs as XOR + popcount against a
+``k × ceil(d / 8)``-byte table.  Training and inference accept encoded
+samples in either representation — unpacked ``(n, d)`` bit arrays or a
+packed :class:`~repro.hdc.packed.PackedHV` batch — with identical results.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Sequence, Union
 
 import numpy as np
 
 from .._rng import SeedLike, ensure_rng
 from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
-from ..hdc.hypervector import BIT_DTYPE, as_hypervector
-from ..hdc.ops import TieBreak, pairwise_hamming
+from ..hdc.hypervector import as_hypervector
+from ..hdc.ops import TieBreak, majority_from_counts
+from ..hdc.packed import (
+    BundleAccumulator,
+    PackedHV,
+    is_packed,
+    packed_pairwise_hamming,
+)
 from .metrics import accuracy
 
 __all__ = ["CentroidClassifier"]
+
+#: Either hypervector representation accepted by the classifier.
+EncodedBatch = Union[np.ndarray, PackedHV]
 
 
 class CentroidClassifier:
@@ -57,10 +74,12 @@ class CentroidClassifier:
         self._dim = int(dim)
         self._tie_break = tie_break
         self._rng = ensure_rng(seed)
-        # Signed accumulator per class: Σ (2·bit − 1) over class samples.
-        self._accumulators: dict[Hashable, np.ndarray] = {}
-        self._counts: dict[Hashable, int] = {}
+        # One streaming majority accumulator per class.  Its ``signed``
+        # view equals the classic Σ (2·bit − 1) accumulator exactly.
+        self._accumulators: dict[Hashable, BundleAccumulator] = {}
         self._class_vectors: dict[Hashable, np.ndarray] | None = None
+        self._packed_table: PackedHV | None = None
+        self._class_order: list[Hashable] = []
 
     # -- properties -------------------------------------------------------------
     @property
@@ -81,8 +100,27 @@ class CentroidClassifier:
             raise KeyError(f"unknown class {label!r}")
         return self._class_vectors[label]
 
+    def packed_class_vector(self, label: Hashable) -> PackedHV:
+        """The prototype of ``label`` in bit-packed form."""
+        self._materialise()
+        assert self._packed_table is not None
+        if label not in self._class_vectors:  # type: ignore[operator]
+            raise KeyError(f"unknown class {label!r}")
+        return self._packed_table[self._class_order.index(label)]
+
     # -- training ----------------------------------------------------------------
-    def _check_batch(self, encoded: np.ndarray) -> np.ndarray:
+    def _check_batch(self, encoded: EncodedBatch) -> EncodedBatch:
+        if is_packed(encoded):
+            packed: PackedHV = encoded
+            if packed.ndim == 1:
+                packed = PackedHV(packed.data[None, :], packed.dim)
+            if packed.ndim != 2:
+                raise InvalidParameterError(
+                    f"expected encoded samples of shape (n, d), got {packed.shape}"
+                )
+            if packed.dim != self._dim:
+                raise DimensionMismatchError(self._dim, packed.dim, "CentroidClassifier")
+            return packed
         arr = as_hypervector(encoded)
         if arr.ndim == 1:
             arr = arr[None, :]
@@ -94,54 +132,52 @@ class CentroidClassifier:
             raise DimensionMismatchError(self._dim, arr.shape[1], "CentroidClassifier")
         return arr
 
-    def fit(self, encoded: np.ndarray, labels: Sequence[Hashable]) -> "CentroidClassifier":
+    def _invalidate(self) -> None:
+        self._class_vectors = None
+        self._packed_table = None
+
+    def fit(self, encoded: EncodedBatch, labels: Sequence[Hashable]) -> "CentroidClassifier":
         """Single-pass training: bundle each class's samples (Section 2.2).
 
         May be called repeatedly; accumulators keep growing, which makes
         the classifier natively incremental (a property HDC is praised
         for).  Returns ``self`` for chaining.
         """
-        arr = self._check_batch(encoded)
+        batch = self._check_batch(encoded)
         labels = list(labels)
-        if len(labels) != arr.shape[0]:
+        if len(labels) != batch.shape[0]:
             raise InvalidParameterError(
-                f"got {arr.shape[0]} samples but {len(labels)} labels"
+                f"got {batch.shape[0]} samples but {len(labels)} labels"
             )
-        signed = 2 * arr.astype(np.int64) - 1
         for label in set(labels):
             mask = np.fromiter((l == label for l in labels), dtype=bool, count=len(labels))
-            contribution = signed[mask].sum(axis=0)
-            if label in self._accumulators:
-                self._accumulators[label] += contribution
-                self._counts[label] += int(mask.sum())
-            else:
-                self._accumulators[label] = contribution
-                self._counts[label] = int(mask.sum())
-        self._class_vectors = None
+            if label not in self._accumulators:
+                self._accumulators[label] = BundleAccumulator(self._dim)
+            self._accumulators[label].add(batch[mask])
+        self._invalidate()
         return self
 
     def refine(
-        self, encoded: np.ndarray, labels: Sequence[Hashable], epochs: int = 1
+        self, encoded: EncodedBatch, labels: Sequence[Hashable], epochs: int = 1
     ) -> int:
         """Perceptron-style retraining on misclassified samples (extension).
 
-        For every misclassified sample, add its signed hypervector to the
-        true class accumulator and subtract it from the predicted one.
+        For every misclassified sample, add its hypervector to the true
+        class accumulator and subtract it from the predicted one.
         Returns the number of updates performed over all epochs.
         """
         if epochs < 0:
             raise InvalidParameterError(f"epochs must be non-negative, got {epochs}")
-        arr = self._check_batch(encoded)
+        batch = self._check_batch(encoded)
         labels = list(labels)
-        if len(labels) != arr.shape[0]:
+        if len(labels) != batch.shape[0]:
             raise InvalidParameterError(
-                f"got {arr.shape[0]} samples but {len(labels)} labels"
+                f"got {batch.shape[0]} samples but {len(labels)} labels"
             )
         updates = 0
         for _ in range(epochs):
-            predictions = self.predict(arr)
+            predictions = self.predict(batch)
             changed = False
-            signed = 2 * arr.astype(np.int64) - 1
             for row, (true, pred) in enumerate(zip(labels, predictions)):
                 if true == pred:
                     continue
@@ -149,11 +185,12 @@ class CentroidClassifier:
                     raise InvalidParameterError(
                         f"label {true!r} was never seen by fit()"
                     )
-                self._accumulators[true] += signed[row]
-                self._accumulators[pred] -= signed[row]
+                sample = batch[row]
+                self._accumulators[true].add(sample)
+                self._accumulators[pred].subtract(sample)
                 updates += 1
                 changed = True
-            self._class_vectors = None
+            self._invalidate()
             if not changed:
                 break
         return updates
@@ -162,45 +199,43 @@ class CentroidClassifier:
     def _materialise(self) -> None:
         if not self._accumulators:
             raise EmptyModelError("classifier has no training data")
-        if self._class_vectors is not None:
+        if self._class_vectors is not None and self._packed_table is not None:
             return
         vectors: dict[Hashable, np.ndarray] = {}
         for label, acc in self._accumulators.items():
-            bits = (acc > 0).astype(BIT_DTYPE)
-            ties = acc == 0
-            if np.any(ties):
-                if self._tie_break == "random":
-                    coin = self._rng.integers(0, 2, size=acc.shape, dtype=BIT_DTYPE)
-                    bits[ties] = coin[ties]
-                elif self._tie_break == "ones":
-                    bits[ties] = 1
-                elif self._tie_break == "alternate":
-                    parity = (np.arange(acc.size) % 2).astype(BIT_DTYPE)
-                    bits[ties] = parity[ties]
-                # "zeros": already 0
-            vectors[label] = bits
+            # Threshold the raw counts rather than acc.finalize(): refine()
+            # may legitimately drive a class's net total to zero or below
+            # (more subtractions than additions), and the majority rule
+            # 2·counts > total is still well defined there — matching the
+            # signed-accumulator formulation, which had no emptiness notion.
+            vectors[label] = majority_from_counts(
+                acc.counts, acc.total, tie_break=self._tie_break, seed=self._rng
+            )
         self._class_vectors = vectors
+        self._class_order = list(vectors.keys())
+        self._packed_table = PackedHV.pack(
+            np.stack([vectors[c] for c in self._class_order], axis=0)
+        )
 
-    def decision_distances(self, encoded: np.ndarray) -> tuple[np.ndarray, list[Hashable]]:
+    def decision_distances(self, encoded: EncodedBatch) -> tuple[np.ndarray, list[Hashable]]:
         """Distance of each sample to every class-vector.
 
         Returns ``(distances, class_order)`` with ``distances`` of shape
-        ``(n, k)``.
+        ``(n, k)``, computed by popcount against the packed prototype
+        table.
         """
         self._materialise()
-        assert self._class_vectors is not None
-        arr = self._check_batch(encoded)
-        order = list(self._class_vectors.keys())
-        table = np.stack([self._class_vectors[c] for c in order], axis=0)
-        return pairwise_hamming(arr, table), order
+        assert self._packed_table is not None
+        batch = self._check_batch(encoded)
+        return packed_pairwise_hamming(batch, self._packed_table), list(self._class_order)
 
-    def predict(self, encoded: np.ndarray) -> list[Hashable]:
+    def predict(self, encoded: EncodedBatch) -> list[Hashable]:
         """Nearest class-vector labels for a batch of encoded samples."""
         distances, order = self.decision_distances(encoded)
         winners = np.argmin(distances, axis=-1)
         return [order[i] for i in winners]
 
-    def score(self, encoded: np.ndarray, labels: Sequence[Hashable]) -> float:
+    def score(self, encoded: EncodedBatch, labels: Sequence[Hashable]) -> float:
         """Accuracy of :meth:`predict` against the provided labels."""
         predictions = self.predict(encoded)
         return accuracy(np.asarray(list(labels), dtype=object),

@@ -15,6 +15,13 @@ The label encoder is an :class:`~repro.basis.base.Embedding` over a
 that nearby labels have similar hypervectors and the bundle noise averages
 out instead of scattering).
 
+The memory is a streaming :class:`~repro.hdc.packed.BundleAccumulator`
+(O(d) integers regardless of sample count), the materialised model and
+the label table are kept bit-packed, and the binary decode runs as XOR +
+popcount.  Encoded samples may arrive as unpacked ``(n, d)`` bit arrays
+or as a packed :class:`~repro.hdc.packed.PackedHV` batch — results are
+identical.
+
 Beyond the paper, :class:`HDRegressor` supports:
 
 * a similarity-weighted decode (``decode="weighted"``) that replaces the
@@ -31,19 +38,31 @@ Beyond the paper, :class:`HDRegressor` supports:
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
 from .._rng import SeedLike, ensure_rng
 from ..basis.base import Embedding
 from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
 from ..hdc.hypervector import BIT_DTYPE, as_hypervector
-from ..hdc.ops import TieBreak, majority_from_counts, pairwise_hamming
+from ..hdc.ops import TieBreak
+from ..hdc.packed import (
+    BundleAccumulator,
+    PackedHV,
+    is_packed,
+    packed_bind,
+    packed_pairwise_hamming,
+)
 from .metrics import mean_squared_error
 
 __all__ = ["HDRegressor"]
 
 _DECODE_MODES = ("argmin", "weighted")
 _MODEL_MODES = ("binary", "integer")
+
+#: Either hypervector representation accepted by the regressor.
+EncodedBatch = Union[np.ndarray, PackedHV]
 
 
 class HDRegressor:
@@ -83,9 +102,9 @@ class HDRegressor:
         self._tie_break = tie_break
         self._rng = ensure_rng(seed)
         self._dim = label_embedding.dim
-        self._counts = np.zeros(self._dim, dtype=np.int64)
-        self._total = 0
+        self._bundle = BundleAccumulator(self._dim)
         self._model: np.ndarray | None = None
+        self._packed_model: PackedHV | None = None
 
     @property
     def dim(self) -> int:
@@ -95,9 +114,20 @@ class HDRegressor:
     @property
     def num_samples(self) -> int:
         """Number of training samples bundled into the model."""
-        return self._total
+        return self._bundle.total
 
-    def _check_batch(self, encoded: np.ndarray) -> np.ndarray:
+    def _check_batch(self, encoded: EncodedBatch) -> EncodedBatch:
+        if is_packed(encoded):
+            packed: PackedHV = encoded
+            if packed.ndim == 1:
+                packed = PackedHV(packed.data[None, :], packed.dim)
+            if packed.ndim != 2:
+                raise InvalidParameterError(
+                    f"expected encoded samples of shape (n, d), got {packed.shape}"
+                )
+            if packed.dim != self._dim:
+                raise DimensionMismatchError(self._dim, packed.dim, "HDRegressor")
+            return packed
         arr = as_hypervector(encoded)
         if arr.ndim == 1:
             arr = arr[None, :]
@@ -109,70 +139,87 @@ class HDRegressor:
             raise DimensionMismatchError(self._dim, arr.shape[1], "HDRegressor")
         return arr
 
-    def fit(self, encoded: np.ndarray, y: np.ndarray) -> "HDRegressor":
+    def fit(self, encoded: EncodedBatch, y: np.ndarray) -> "HDRegressor":
         """Accumulate ``φ(x_i) ⊗ φ_ℓ(y_i)`` terms into the model bundle.
 
         Incremental: repeated calls keep extending the same memory.
         Returns ``self`` for chaining.
         """
-        arr = self._check_batch(encoded)
+        batch = self._check_batch(encoded)
         y = np.asarray(y, dtype=np.float64)
-        if y.shape != (arr.shape[0],):
+        if y.shape != (batch.shape[0],):
             raise InvalidParameterError(
-                f"y must have shape ({arr.shape[0]},), got {y.shape}"
+                f"y must have shape ({batch.shape[0]},), got {y.shape}"
             )
-        label_hvs = self.label_embedding.encode(y)
-        bound = np.bitwise_xor(arr, label_hvs)
-        self._counts += bound.sum(axis=0, dtype=np.int64)
-        self._total += arr.shape[0]
+        if is_packed(batch):
+            label_hvs = self.label_embedding.encode_packed(y)
+            bound: EncodedBatch = packed_bind(batch, label_hvs)
+        else:
+            label_hvs = self.label_embedding.encode(y)
+            bound = np.bitwise_xor(batch, label_hvs)
+        self._bundle.add(bound)
         self._model = None
+        self._packed_model = None
         return self
 
     @property
     def model(self) -> np.ndarray:
         """The bundled model hypervector ``M`` (majority of all terms)."""
-        if self._total == 0:
+        if self._bundle.total == 0:
             raise EmptyModelError("regressor has no training data")
         if self._model is None:
-            self._model = majority_from_counts(
-                self._counts, self._total, tie_break=self._tie_break, seed=self._rng
+            self._model = self._bundle.finalize(
+                tie_break=self._tie_break, seed=self._rng
             ).astype(BIT_DTYPE)
         return self._model
 
-    def _label_scores(self, arr: np.ndarray) -> np.ndarray:
+    @property
+    def packed_model(self) -> PackedHV:
+        """The model hypervector ``M`` in bit-packed form."""
+        if self._packed_model is None:
+            self._packed_model = PackedHV.pack(self.model)
+        return self._packed_model
+
+    def _label_scores(self, batch: EncodedBatch) -> np.ndarray:
         """Alignment of each query with each label grid point, in ``[−1, 1]``.
 
-        For the binary model this is ``1 − 2δ(M ⊗ φ(x̂), L_k)``; for the
+        For the binary model this is ``1 − 2δ(M ⊗ φ(x̂), L_k)``, computed
+        as packed XOR + popcount against the packed label table; for the
         integer model it is the normalised inner product between the
         signed accumulator (sign-flipped by the query bits) and the
         bipolar label vectors — the same quantity without the majority
         quantisation in between.
         """
-        label_bits = self.label_embedding.basis.vectors
         if self.model_mode == "binary":
-            unbound = np.bitwise_xor(arr, self.model[None, :])
-            distances = pairwise_hamming(unbound, label_bits)
+            queries = batch if is_packed(batch) else PackedHV.pack(batch)
+            unbound = packed_bind(queries, self.packed_model)
+            distances = packed_pairwise_hamming(
+                unbound, self.label_embedding.basis.packed
+            )
             return 1.0 - 2.0 * distances
-        signed = (self._total - 2.0 * self._counts).astype(np.float32)  # Σ bipolar
-        queries = signed[None, :] * (1.0 - 2.0 * arr.astype(np.float32))
+        bits = batch.unpack() if is_packed(batch) else batch
+        label_bits = self.label_embedding.basis.vectors
+        total = self._bundle.total
+        signed = (total - 2.0 * self._bundle.counts).astype(np.float32)  # Σ bipolar
+        queries = signed[None, :] * (1.0 - 2.0 * bits.astype(np.float32))
         label_bipolar = (1.0 - 2.0 * label_bits.astype(np.float32))
         scores = queries @ label_bipolar.T
-        return scores / (self._dim * max(self._total, 1))
+        return scores / (self._dim * max(total, 1))
 
-    def predict(self, encoded: np.ndarray) -> np.ndarray:
+    def predict(self, encoded: EncodedBatch) -> np.ndarray:
         """Decode predicted labels for a batch of encoded samples."""
-        arr = self._check_batch(encoded)
-        if self._total == 0:
+        batch = self._check_batch(encoded)
+        if self._bundle.total == 0:
             raise EmptyModelError("regressor has no training data")
         grid = self.label_embedding.discretizer.points
-        scores = self._label_scores(arr)
+        scores = self._label_scores(batch)
         if self.decode_mode == "argmin":
             return grid[np.argmax(scores, axis=-1)]
         # Weighted decode: weight each label grid point by its positive
         # alignment; fall back to argmax when no point clears zero.
         weights = np.clip(scores, 0.0, None)
         totals = weights.sum(axis=-1)
-        out = np.empty(arr.shape[0], dtype=np.float64)
+        out = np.empty(batch.shape[0], dtype=np.float64)
         degenerate = totals <= 1e-12
         if np.any(degenerate):
             out[degenerate] = grid[np.argmax(scores[degenerate], axis=-1)]
@@ -181,6 +228,6 @@ class HDRegressor:
             out[good] = (weights[good] * grid[None, :]).sum(axis=-1) / totals[good]
         return out
 
-    def score(self, encoded: np.ndarray, y: np.ndarray) -> float:
+    def score(self, encoded: EncodedBatch, y: np.ndarray) -> float:
         """Mean squared error of :meth:`predict` against ``y``."""
         return mean_squared_error(np.asarray(y, dtype=np.float64), self.predict(encoded))
