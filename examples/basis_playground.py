@@ -15,6 +15,8 @@ Run:  python examples/basis_playground.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import numpy as np
 
 from repro.analysis import format_table

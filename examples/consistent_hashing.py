@@ -11,6 +11,8 @@ Run:  python examples/consistent_hashing.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 from repro.analysis import format_table
 from repro.hashing import HyperdimensionalHashRing
 

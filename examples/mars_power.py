@@ -10,6 +10,8 @@ Run:  python examples/mars_power.py [--dim 4096]
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import argparse
 import math
 

@@ -12,6 +12,8 @@ Run:  python examples/noise_robustness.py [--dim 4096]
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import argparse
 
 from repro._rng import ensure_rng

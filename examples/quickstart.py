@@ -14,6 +14,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import numpy as np
 
 from repro import (

@@ -11,6 +11,8 @@ Run:  python examples/temperature_forecast.py [--dim 4096]
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import argparse
 
 import numpy as np

@@ -29,6 +29,8 @@ Package map
   Express surrogates),
 * :mod:`repro.hashing` — the hyperdimensional consistent-hashing system
   circular-hypervectors originate from,
+* :mod:`repro.runtime` — parallel experiment runtime: batched encoding,
+  sharded execution, artifact caching,
 * :mod:`repro.experiments` — one driver per table/figure,
 * :mod:`repro.analysis` — similarity matrices, figure data, reporting.
 """
@@ -69,8 +71,9 @@ from .hdc import (
     similarity,
 )
 from .learning import CentroidClassifier, HDRegressor
+from .runtime import ArtifactStore, BatchEncoder, WorkerPool
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -102,6 +105,10 @@ __all__ = [
     # learning
     "CentroidClassifier",
     "HDRegressor",
+    # runtime
+    "ArtifactStore",
+    "BatchEncoder",
+    "WorkerPool",
     # errors
     "ReproError",
     "DimensionMismatchError",

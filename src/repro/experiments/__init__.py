@@ -7,6 +7,13 @@
 * :mod:`repro.analysis.similarity` — Figures 3 and 6 data.
 
 Run from the command line with ``python -m repro.experiments <target>``.
+
+Every table/sweep driver accepts ``workers=`` (independent cells fanned
+out over a :class:`~repro.runtime.pool.WorkerPool`, bit-identical to the
+serial run) and ``store=`` (an
+:class:`~repro.runtime.artifacts.ArtifactStore` serving repeated
+identical configurations from a content-addressed cache); the CLI maps
+these to ``--workers`` and ``--no-cache``/``--cache-dir``.
 """
 
 from .classification import (
@@ -15,17 +22,20 @@ from .classification import (
     encode_angular_records,
     run_classification,
     run_table1,
+    table1_cache_params,
 )
 from .config import DEFAULT_DIMENSION, ClassificationConfig, RegressionConfig
 from .regression import (
     REGRESSION_DATASETS,
     RegressionResult,
+    make_regression_split,
     run_beijing,
     run_mars_express,
     run_regression,
     run_table2,
+    table2_cache_params,
 )
-from .rsweep import SWEEP_DATASETS, RSweepResult, run_rsweep
+from .rsweep import SWEEP_DATASETS, RSweepResult, run_rsweep, rsweep_cache_params
 
 __all__ = [
     "BASIS_KINDS",
@@ -45,4 +55,8 @@ __all__ = [
     "run_regression",
     "run_table2",
     "run_rsweep",
+    "make_regression_split",
+    "table1_cache_params",
+    "table2_cache_params",
+    "rsweep_cache_params",
 ]

@@ -2,27 +2,40 @@
 
 Usage::
 
-    python -m repro.experiments table1 [--dim D] [--seed S]
-    python -m repro.experiments table2 [--dim D] [--seed S]
+    python -m repro.experiments table1 [--dim D] [--seed S] [--workers N]
+    python -m repro.experiments table2 [--dim D] [--seed S] [--workers N]
     python -m repro.experiments figure3 [--size M] [--dim D]
     python -m repro.experiments figure6 [--dim D]
-    python -m repro.experiments figure7 [--dim D]
-    python -m repro.experiments figure8 [--dim D] [--fast]
+    python -m repro.experiments figure7 [--dim D] [--workers N]
+    python -m repro.experiments figure8 [--dim D] [--workers N] [--fast]
 
-``--fast`` shrinks dimensionality and sweep resolution for a quick look;
-defaults follow the paper (d = 10,000).
+Runtime flags (see ``docs/REPRODUCING.md`` for per-artifact guidance):
+
+``--fast``
+    Shrink dimensionality (and, for figure8, the sweep resolution) for a
+    quick look; defaults follow the paper (d = 10,000).
+``--workers N``
+    Fan independent experiment cells out over ``N`` workers (``0`` =
+    one per CPU).  Results are bit-identical to ``--workers 1``.
+``--no-cache``
+    Bypass the artifact cache.  By default, results for table1, table2,
+    figure7 and figure8 are content-addressed by their full
+    configuration and cached as JSON under ``benchmarks/results/``
+    (override with ``--cache-dir`` or ``REPRO_RESULTS_DIR``); re-running
+    an identical command is a logged cache hit that recomputes nothing.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-from dataclasses import replace
 
 import numpy as np
 
 from ..analysis import figure3_data, figure6_data, format_table, render_heatmap
 from ..learning.metrics import normalized_mse
+from ..runtime import ArtifactStore
 from .classification import run_table1
 from .config import ClassificationConfig, RegressionConfig
 from .regression import run_table2
@@ -30,10 +43,22 @@ from .rsweep import run_rsweep
 
 __all__ = ["main"]
 
+#: Dimensionality cap applied by ``--fast``.
+FAST_DIM = 1024
+
+
+def _effective_dim(args: argparse.Namespace) -> int:
+    return min(args.dim, FAST_DIM) if args.fast else args.dim
+
+
+def _store(args: argparse.Namespace) -> ArtifactStore:
+    return ArtifactStore(root=args.cache_dir, enabled=not args.no_cache)
+
 
 def _print_table1(args: argparse.Namespace) -> None:
-    config = ClassificationConfig(dim=args.dim, seed=args.seed)
-    results = run_table1(config)
+    dim = _effective_dim(args)
+    config = ClassificationConfig(dim=dim, seed=args.seed)
+    results = run_table1(config, workers=args.workers, store=_store(args))
     rows = [
         [task.replace("_", " ").title()] + [f"{100 * results[task][k]:.1f}%" for k in ("random", "level", "circular")]
         for task in results
@@ -41,13 +66,14 @@ def _print_table1(args: argparse.Namespace) -> None:
     print(format_table(
         ["Dataset", "Random", "Level", "Circular"],
         rows,
-        title=f"Table 1: classification accuracy (d={args.dim}, r=0.1, seed={args.seed})",
+        title=f"Table 1: classification accuracy (d={dim}, r=0.1, seed={args.seed})",
     ))
 
 
 def _print_table2(args: argparse.Namespace) -> None:
-    config = RegressionConfig(dim=args.dim, seed=args.seed)
-    results = run_table2(config)
+    dim = _effective_dim(args)
+    config = RegressionConfig(dim=dim, seed=args.seed)
+    results = run_table2(config, workers=args.workers, store=_store(args))
     rows = [
         [ds.replace("_", " ").title()] + [results[ds][k] for k in ("random", "level", "circular")]
         for ds in results
@@ -55,31 +81,34 @@ def _print_table2(args: argparse.Namespace) -> None:
     print(format_table(
         ["Dataset", "Random", "Level", "Circular"],
         rows,
-        title=f"Table 2: regression MSE (d={args.dim}, r=0.01, seed={args.seed})",
+        title=f"Table 2: regression MSE (d={dim}, r=0.01, seed={args.seed})",
         digits=1,
     ))
 
 
 def _print_figure3(args: argparse.Namespace) -> None:
-    data = figure3_data(size=args.size, dim=args.dim, seed=args.seed)
+    dim = _effective_dim(args)
+    data = figure3_data(size=args.size, dim=dim, seed=args.seed)
     for kind, matrix in data.items():
         print(f"\nFigure 3 — {kind} basis pairwise similarity "
-              f"(size={args.size}, d={args.dim}):")
+              f"(size={args.size}, d={dim}):")
         print(render_heatmap(matrix, vmin=0.5, vmax=1.0))
         print(np.array2string(matrix, precision=2, suppress_small=True))
 
 
 def _print_figure6(args: argparse.Namespace) -> None:
-    data = figure6_data(size=10, dim=args.dim, seed=args.seed)
+    dim = _effective_dim(args)
+    data = figure6_data(size=10, dim=dim, seed=args.seed)
     rows = [[f"r={r}"] + [float(v) for v in profile] for r, profile in data.items()]
     headers = ["profile"] + [f"node{i}" for i in range(10)]
     print(format_table(headers, rows,
-                       title=f"Figure 6: similarity to reference node (d={args.dim})"))
+                       title=f"Figure 6: similarity to reference node (d={dim})"))
 
 
 def _print_figure7(args: argparse.Namespace) -> None:
-    config = RegressionConfig(dim=args.dim, seed=args.seed)
-    results = run_table2(config)
+    dim = _effective_dim(args)
+    config = RegressionConfig(dim=dim, seed=args.seed)
+    results = run_table2(config, workers=args.workers, store=_store(args))
     rows = []
     for ds in results:
         reference = results[ds]["random"]
@@ -89,20 +118,25 @@ def _print_figure7(args: argparse.Namespace) -> None:
     print(format_table(
         ["Dataset", "Random", "Level", "Circular"],
         rows,
-        title=f"Figure 7: normalized regression MSE (d={args.dim}, seed={args.seed})",
+        title=f"Figure 7: normalized regression MSE (d={dim}, seed={args.seed})",
     ))
 
 
 def _print_figure8(args: argparse.Namespace) -> None:
+    dim = _effective_dim(args)
     if args.fast:
         r_values = (0.0, 0.05, 0.2, 1.0)
-        c_config = ClassificationConfig(dim=min(args.dim, 4096), seed=args.seed)
-        r_config = RegressionConfig(dim=min(args.dim, 4096), seed=args.seed)
     else:
         r_values = (0.0, 0.01, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0)
-        c_config = ClassificationConfig(dim=args.dim, seed=args.seed)
-        r_config = RegressionConfig(dim=args.dim, seed=args.seed)
-    sweep = run_rsweep(r_values, classification_config=c_config, regression_config=r_config)
+    c_config = ClassificationConfig(dim=dim, seed=args.seed)
+    r_config = RegressionConfig(dim=dim, seed=args.seed)
+    sweep = run_rsweep(
+        r_values,
+        classification_config=c_config,
+        regression_config=r_config,
+        workers=args.workers,
+        store=_store(args),
+    )
     headers = ["Dataset"] + [f"r={r}" for r in sweep.r_values]
     rows = [
         [ds.replace("_", " ").title()] + list(sweep.normalized_error[ds])
@@ -123,7 +157,19 @@ _TARGETS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI dispatcher; returns a process exit code."""
+    """CLI dispatcher; returns a process exit code.
+
+    Example
+    -------
+    >>> import contextlib, io
+    >>> buf = io.StringIO()
+    >>> with contextlib.redirect_stdout(buf):
+    ...     code = main(["figure6", "--dim", "128", "--seed", "1"])
+    >>> code
+    0
+    >>> "Figure 6" in buf.getvalue()
+    True
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -132,8 +178,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dim", type=int, default=10_000, help="hyperspace dimension")
     parser.add_argument("--seed", type=int, default=2023, help="master seed")
     parser.add_argument("--size", type=int, default=10, help="basis size (figure3)")
-    parser.add_argument("--fast", action="store_true", help="smaller, quicker sweep")
+    parser.add_argument("--fast", action="store_true",
+                        help=f"smaller, quicker run (dim capped at {FAST_DIM})")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel experiment cells (0 = one per CPU); "
+                             "results are bit-identical to --workers 1")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute even if a cached result exists, and do not cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (default: benchmarks/results, "
+                             "or $REPRO_RESULTS_DIR)")
     args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO, stream=sys.stderr, format="[%(name)s] %(message)s"
+    )
     _TARGETS[args.target](args)
     return 0
 

@@ -16,7 +16,7 @@ same data normalized by the random-basis column.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Mapping
 
 import numpy as np
@@ -33,7 +33,14 @@ from ..datasets import RegressionSplit, make_beijing_like, make_mars_express_lik
 from ..datasets.beijing import DAYS_PER_YEAR
 from ..exceptions import InvalidParameterError
 from ..hdc.encoders import encode_bound_records
+from ..learning.metrics import mean_squared_error
 from ..learning.regression import HDRegressor
+from ..runtime import (
+    ArtifactStore,
+    WorkerPool,
+    fit_regressor_sharded,
+    predict_regressor_sharded,
+)
 from .config import RegressionConfig
 
 __all__ = [
@@ -41,8 +48,10 @@ __all__ = [
     "RegressionResult",
     "run_beijing",
     "run_mars_express",
+    "make_regression_split",
     "run_regression",
     "run_table2",
+    "table2_cache_params",
 ]
 
 #: The datasets of Table 2, in row order.
@@ -93,12 +102,40 @@ def _label_embedding(split: RegressionSplit, config: RegressionConfig, seed) -> 
     return Embedding(basis, LinearDiscretizer(low, high, config.label_levels, clip=True))
 
 
+def _fit_and_score(
+    model: HDRegressor,
+    train_hvs,
+    train_labels: np.ndarray,
+    test_hvs,
+    test_labels: np.ndarray,
+    pool: WorkerPool | None,
+) -> float:
+    """Train and score one regression cell, sharding over ``pool`` if given.
+
+    The sharded path folds integer bundle shards in sample order and
+    concatenates prediction chunks in chunk order, so the MSE is
+    bit-identical to the serial path.
+    """
+    if pool is None or pool.serial:
+        model.fit(train_hvs, train_labels)
+        return model.score(test_hvs, test_labels)
+    fit_regressor_sharded(model, train_hvs, train_labels, pool)
+    predictions = predict_regressor_sharded(model, test_hvs, pool)
+    return mean_squared_error(np.asarray(test_labels, dtype=np.float64), predictions)
+
+
 def run_beijing(
     basis_kind: str,
     config: RegressionConfig | None = None,
     split: RegressionSplit | None = None,
+    pool: WorkerPool | None = None,
 ) -> RegressionResult:
-    """One Beijing cell of Table 2: temperature-forecast MSE."""
+    """One Beijing cell of Table 2: temperature-forecast MSE.
+
+    ``pool`` optionally shards this cell's training and prediction over
+    a :class:`~repro.runtime.pool.WorkerPool`; the MSE is bit-identical
+    to the serial run.
+    """
     config = config or RegressionConfig()
     master = ensure_rng(config.seed)
     data_rng, year_rng, day_rng, hour_rng, label_rng, tie_rng = master.spawn(6)
@@ -126,20 +163,28 @@ def run_beijing(
     )
     label_embedding = _label_embedding(split, config, label_rng)
 
-    def encode(features: np.ndarray) -> np.ndarray:
+    def encode(features: np.ndarray):
+        # Packed feature batches: the Y ⊗ D ⊗ H binding runs on packed
+        # words and the encoded corpus stays at ceil(d / 8) bytes a row.
         return encode_bound_records(
             [
-                year_embedding.encode(features[:, 0]),
-                day_embedding.encode(features[:, 1]),
-                hour_embedding.encode(features[:, 2]),
+                year_embedding.encode_packed(features[:, 0]),
+                day_embedding.encode_packed(features[:, 1]),
+                hour_embedding.encode_packed(features[:, 2]),
             ]
         )
 
     model = HDRegressor(
         label_embedding, seed=tie_rng, decode=config.decode, model=config.model
     )
-    model.fit(encode(split.train_features), split.train_labels)
-    mse = model.score(encode(split.test_features), split.test_labels)
+    mse = _fit_and_score(
+        model,
+        encode(split.train_features),
+        split.train_labels,
+        encode(split.test_features),
+        split.test_labels,
+        pool,
+    )
     return RegressionResult(
         dataset="beijing",
         basis_kind=basis_kind,
@@ -154,8 +199,14 @@ def run_mars_express(
     basis_kind: str,
     config: RegressionConfig | None = None,
     split: RegressionSplit | None = None,
+    pool: WorkerPool | None = None,
 ) -> RegressionResult:
-    """One Mars Express cell of Table 2: power-prediction MSE."""
+    """One Mars Express cell of Table 2: power-prediction MSE.
+
+    ``pool`` optionally shards this cell's training and prediction over
+    a :class:`~repro.runtime.pool.WorkerPool`; the MSE is bit-identical
+    to the serial run.
+    """
     config = config or RegressionConfig()
     master = ensure_rng(config.seed)
     data_rng, anomaly_rng, label_rng, tie_rng = master.spawn(4)
@@ -171,9 +222,13 @@ def run_mars_express(
     model = HDRegressor(
         label_embedding, seed=tie_rng, decode=config.decode, model=config.model
     )
-    model.fit(anomaly_embedding.encode(split.train_features[:, 0]), split.train_labels)
-    mse = model.score(
-        anomaly_embedding.encode(split.test_features[:, 0]), split.test_labels
+    mse = _fit_and_score(
+        model,
+        anomaly_embedding.encode_packed(split.train_features[:, 0]),
+        split.train_labels,
+        anomaly_embedding.encode_packed(split.test_features[:, 0]),
+        split.test_labels,
+        pool,
     )
     return RegressionResult(
         dataset="mars_express",
@@ -190,21 +245,71 @@ def run_regression(
     basis_kind: str,
     config: RegressionConfig | None = None,
     split: RegressionSplit | None = None,
+    pool: WorkerPool | None = None,
 ) -> RegressionResult:
-    """Dispatch to :func:`run_beijing` / :func:`run_mars_express` by name."""
+    """Dispatch to :func:`run_beijing` / :func:`run_mars_express` by name.
+
+    Example
+    -------
+    >>> cfg = RegressionConfig(dim=256, seed=7)
+    >>> cell = run_regression("mars_express", "circular", config=cfg)
+    >>> cell.dataset, cell.basis_kind
+    ('mars_express', 'circular')
+    >>> cell.mse >= 0.0
+    True
+    """
     if dataset == "beijing":
-        return run_beijing(basis_kind, config=config, split=split)
+        return run_beijing(basis_kind, config=config, split=split, pool=pool)
     if dataset == "mars_express":
-        return run_mars_express(basis_kind, config=config, split=split)
+        return run_mars_express(basis_kind, config=config, split=split, pool=pool)
     raise InvalidParameterError(
         f"unknown dataset {dataset!r}; expected one of {REGRESSION_DATASETS}"
     )
+
+
+def make_regression_split(dataset: str, config: RegressionConfig) -> RegressionSplit:
+    """Generate one dataset exactly as the table/sweep drivers do.
+
+    Centralised so the parallel drivers and the serial cell runners
+    derive the identical split from ``config.seed``.
+    """
+    data_rng = ensure_rng(config.seed).spawn(6)[0]
+    if dataset == "beijing":
+        return make_beijing_like(seed=data_rng)
+    if dataset == "mars_express":
+        return make_mars_express_like(seed=data_rng)
+    raise InvalidParameterError(
+        f"unknown dataset {dataset!r}; expected one of {REGRESSION_DATASETS}"
+    )
+
+
+def _table2_cell(
+    dataset: str, kind: str, config: RegressionConfig, split: RegressionSplit
+) -> float:
+    """One (dataset, basis) cell — module-level so process pools can pickle it."""
+    return run_regression(dataset, kind, config=config, split=split).mse
+
+
+def table2_cache_params(
+    config: RegressionConfig,
+    basis_kinds: tuple[str, ...],
+    datasets: tuple[str, ...],
+) -> dict:
+    """The content-hash key identifying one Table 2 configuration."""
+    return {
+        "config": asdict(config),
+        "basis_kinds": list(basis_kinds),
+        "datasets": list(datasets),
+    }
 
 
 def run_table2(
     config: RegressionConfig | None = None,
     basis_kinds: tuple[str, ...] = ("random", "level", "circular"),
     datasets: tuple[str, ...] = REGRESSION_DATASETS,
+    workers: int = 1,
+    backend: str = "thread",
+    store: ArtifactStore | None = None,
 ) -> Mapping[str, Mapping[str, float]]:
     """Regenerate Table 2: MSE per (dataset, basis kind).
 
@@ -212,17 +317,36 @@ def run_table2(
     encoding is the only varying factor.  Figure 7 is obtained by
     normalizing each row by its ``"random"`` entry
     (:func:`repro.learning.metrics.normalized_mse`).
+
+    Parameters
+    ----------
+    workers, backend:
+        Fan the independent (dataset, basis) cells out over a
+        :class:`~repro.runtime.pool.WorkerPool`; results are
+        bit-identical to the serial run for any worker count.
+    store:
+        Optional :class:`~repro.runtime.artifacts.ArtifactStore` serving
+        repeated identical configurations from the cache.
     """
     config = config or RegressionConfig()
-    results: dict[str, dict[str, float]] = {}
-    for dataset in datasets:
-        data_rng = ensure_rng(config.seed).spawn(6)[0]
-        if dataset == "beijing":
-            split = make_beijing_like(seed=data_rng)
-        else:
-            split = make_mars_express_like(seed=data_rng)
-        results[dataset] = {}
-        for kind in basis_kinds:
-            outcome = run_regression(dataset, kind, config=config, split=split)
-            results[dataset][kind] = outcome.mse
+    params = table2_cache_params(config, tuple(basis_kinds), tuple(datasets))
+    if store is not None:
+        cached = store.load("table2", params)
+        if cached is not None:
+            return cached
+
+    splits = {dataset: make_regression_split(dataset, config) for dataset in datasets}
+    cells = [
+        (dataset, kind, config, splits[dataset])
+        for dataset in datasets
+        for kind in basis_kinds
+    ]
+    with WorkerPool(workers=workers, backend=backend) as pool:
+        errors = pool.starmap(_table2_cell, cells)
+
+    results: dict[str, dict[str, float]] = {dataset: {} for dataset in datasets}
+    for (dataset, kind, _, _), mse in zip(cells, errors):
+        results[dataset][kind] = mse
+    if store is not None:
+        store.store("table2", params, results)
     return results

@@ -12,22 +12,30 @@ every ``r`` in the sweep, run the circular-basis experiment with that
 At ``r = 1`` a circular set degenerates into a random set, so every curve
 approaches 1 there; the paper's finding is the dip below 1 at small
 ``r > 0``.
+
+This is the heaviest artifact of the paper — ``datasets × (1 + |r|)``
+independent experiment cells — and the canonical parallel workload of
+the runtime: :func:`run_rsweep` fans the cells out over a
+:class:`~repro.runtime.pool.WorkerPool` (``workers=``) and every cell
+derives its randomness from its config seed alone, so the sweep is
+bit-identical to the serial run for any worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Mapping, Sequence
 
 from .._rng import ensure_rng
-from ..datasets import make_beijing_like, make_jigsaws_like, make_mars_express_like
+from ..datasets import ClassificationSplit, RegressionSplit, make_jigsaws_like
 from ..exceptions import InvalidParameterError
 from ..learning.metrics import normalized_accuracy_error, normalized_mse
+from ..runtime import ArtifactStore, WorkerPool
 from .classification import run_classification
 from .config import ClassificationConfig, RegressionConfig
-from .regression import run_regression
+from .regression import make_regression_split, run_regression
 
-__all__ = ["RSweepResult", "SWEEP_DATASETS", "run_rsweep"]
+__all__ = ["RSweepResult", "SWEEP_DATASETS", "run_rsweep", "rsweep_cache_params"]
 
 #: The five datasets of Figure 8.
 SWEEP_DATASETS = (
@@ -54,18 +62,111 @@ class RSweepResult:
         """Normalized-error curve of one dataset, ordered as ``r_values``."""
         return self.normalized_error[dataset]
 
+    def to_payload(self) -> dict:
+        """JSON-serialisable form (tuples become lists) for the artifact cache."""
+        return {
+            "r_values": list(self.r_values),
+            "normalized_error": {k: list(v) for k, v in self.normalized_error.items()},
+            "reference": dict(self.reference),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "RSweepResult":
+        """Inverse of :meth:`to_payload`.
+
+        >>> sweep = RSweepResult((0.0, 1.0), {"beijing": (1.2, 1.0)}, {"beijing": 3.4})
+        >>> RSweepResult.from_payload(sweep.to_payload()) == sweep
+        True
+        """
+        return cls(
+            r_values=tuple(float(r) for r in payload["r_values"]),
+            normalized_error={
+                str(k): tuple(float(x) for x in v)
+                for k, v in payload["normalized_error"].items()
+            },
+            reference={str(k): float(v) for k, v in payload["reference"].items()},
+        )
+
+
+def _sweep_cell(
+    dataset: str,
+    r: float | None,
+    classification_config: ClassificationConfig,
+    regression_config: RegressionConfig,
+    split: ClassificationSplit | RegressionSplit,
+) -> float:
+    """One sweep cell: raw accuracy/MSE for (dataset, r).
+
+    ``r=None`` is the random-basis reference cell.  Module-level (and
+    fully self-seeded) so process pools can pickle and replay it.
+    """
+    if dataset in _CLASSIFICATION:
+        if r is None:
+            return run_classification(
+                dataset, "random", config=classification_config, split=split
+            ).accuracy
+        cfg = replace(classification_config, circular_r=float(r))
+        return run_classification(dataset, "circular", config=cfg, split=split).accuracy
+    if r is None:
+        return run_regression(
+            dataset, "random", config=regression_config, split=split
+        ).mse
+    cfg = replace(regression_config, circular_r=float(r))
+    return run_regression(dataset, "circular", config=cfg, split=split).mse
+
+
+def rsweep_cache_params(
+    r_values: Sequence[float],
+    datasets: Sequence[str],
+    classification_config: ClassificationConfig,
+    regression_config: RegressionConfig,
+) -> dict:
+    """The content-hash key identifying one Figure 8 sweep configuration."""
+    return {
+        "r_values": [float(r) for r in r_values],
+        "datasets": list(datasets),
+        "classification_config": asdict(classification_config),
+        "regression_config": asdict(regression_config),
+    }
+
 
 def run_rsweep(
     r_values: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0),
     datasets: Sequence[str] = SWEEP_DATASETS,
     classification_config: ClassificationConfig | None = None,
     regression_config: RegressionConfig | None = None,
+    workers: int = 1,
+    backend: str = "thread",
+    store: ArtifactStore | None = None,
 ) -> RSweepResult:
     """Regenerate Figure 8.
 
     Each dataset is generated once and shared across the sweep, and the
     random-basis reference is computed once per dataset, so the curves
     isolate the effect of ``r``.
+
+    Parameters
+    ----------
+    workers, backend:
+        Fan the ``len(datasets) × (1 + len(r_values))`` independent
+        cells out over a :class:`~repro.runtime.pool.WorkerPool`.  Every
+        cell seeds itself from its config, so the sweep is
+        **bit-identical to the serial run for any worker count**.
+    store:
+        Optional :class:`~repro.runtime.artifacts.ArtifactStore`; an
+        identical earlier sweep is served from the cache without
+        recomputation.
+
+    Example
+    -------
+    >>> cfg_c = ClassificationConfig(dim=128, seed=5)
+    >>> cfg_r = RegressionConfig(dim=128, seed=5)
+    >>> sweep = run_rsweep((0.1, 1.0), datasets=("mars_express",),
+    ...                    classification_config=cfg_c, regression_config=cfg_r)
+    >>> sweep.r_values
+    (0.1, 1.0)
+    >>> len(sweep.series("mars_express"))
+    2
     """
     if not r_values:
         raise InvalidParameterError("need at least one r value")
@@ -74,49 +175,63 @@ def run_rsweep(
             raise InvalidParameterError(f"r values must lie in [0, 1], got {r}")
     classification_config = classification_config or ClassificationConfig()
     regression_config = regression_config or RegressionConfig()
-
-    curves: dict[str, tuple[float, ...]] = {}
-    references: dict[str, float] = {}
     for dataset in datasets:
-        if dataset in _CLASSIFICATION:
-            data_rng = ensure_rng(classification_config.seed).spawn(4)[0]
-            split = make_jigsaws_like(task=dataset, seed=data_rng)
-            reference = run_classification(
-                dataset, "random", config=classification_config, split=split
-            ).accuracy
-            references[dataset] = reference
-            series = []
-            for r in r_values:
-                cfg = replace(classification_config, circular_r=float(r))
-                acc = run_classification(
-                    dataset, "circular", config=cfg, split=split
-                ).accuracy
-                series.append(normalized_accuracy_error(acc, reference))
-            curves[dataset] = tuple(series)
-        elif dataset in _REGRESSION:
-            data_rng = ensure_rng(regression_config.seed).spawn(6)[0]
-            if dataset == "beijing":
-                split = make_beijing_like(seed=data_rng)
-            else:
-                split = make_mars_express_like(seed=data_rng)
-            reference = run_regression(
-                dataset, "random", config=regression_config, split=split
-            ).mse
-            references[dataset] = reference
-            series = []
-            for r in r_values:
-                cfg = replace(regression_config, circular_r=float(r))
-                mse = run_regression(
-                    dataset, "circular", config=cfg, split=split
-                ).mse
-                series.append(normalized_mse(mse, reference))
-            curves[dataset] = tuple(series)
-        else:
+        if dataset not in SWEEP_DATASETS:
             raise InvalidParameterError(
                 f"unknown dataset {dataset!r}; expected one of {SWEEP_DATASETS}"
             )
-    return RSweepResult(
+
+    params = rsweep_cache_params(
+        r_values, datasets, classification_config, regression_config
+    )
+    if store is not None:
+        cached = store.load("rsweep", params)
+        if cached is not None:
+            return RSweepResult.from_payload(cached)
+
+    # Generate every split up front (deterministic from the config seeds),
+    # then flatten the whole sweep — reference cells included — into one
+    # task list for the pool.
+    splits: dict[str, ClassificationSplit | RegressionSplit] = {}
+    for dataset in datasets:
+        if dataset in _CLASSIFICATION:
+            data_rng = ensure_rng(classification_config.seed).spawn(4)[0]
+            splits[dataset] = make_jigsaws_like(task=dataset, seed=data_rng)
+        else:
+            splits[dataset] = make_regression_split(dataset, regression_config)
+
+    cells = [
+        (dataset, r, classification_config, regression_config, splits[dataset])
+        for dataset in datasets
+        for r in (None, *r_values)
+    ]
+    with WorkerPool(workers=workers, backend=backend) as pool:
+        raw = pool.starmap(_sweep_cell, cells)
+
+    results: dict[tuple[str, float | None], float] = {
+        (dataset, r): value for (dataset, r, _, _, _), value in zip(cells, raw)
+    }
+    curves: dict[str, tuple[float, ...]] = {}
+    references: dict[str, float] = {}
+    for dataset in datasets:
+        reference = results[(dataset, None)]
+        references[dataset] = reference
+        if dataset in _CLASSIFICATION:
+            series = [
+                normalized_accuracy_error(results[(dataset, float(r))], reference)
+                for r in r_values
+            ]
+        else:
+            series = [
+                normalized_mse(results[(dataset, float(r))], reference)
+                for r in r_values
+            ]
+        curves[dataset] = tuple(series)
+    sweep = RSweepResult(
         r_values=tuple(float(r) for r in r_values),
         normalized_error=curves,
         reference=references,
     )
+    if store is not None:
+        store.store("rsweep", params, sweep.to_payload())
+    return sweep

@@ -38,12 +38,19 @@ from .ops import TieBreak, bind_all, bundle, majority_from_counts, permute
 from .packed import PackedHV, packed_width
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "encode_keyvalue_record",
     "encode_keyvalue_records",
     "encode_bound_records",
     "encode_sequence",
     "encode_ngrams",
 ]
+
+#: Default records-per-chunk of the batched encoders.  The random
+#: tie-break RNG consumption pattern depends on chunk boundaries, so
+#: every encoder documenting bit-identity with this one must share this
+#: constant (:class:`repro.runtime.batch.BatchEncoder` imports it).
+DEFAULT_CHUNK_SIZE = 256
 
 
 def encode_keyvalue_record(
@@ -82,7 +89,7 @@ def encode_keyvalue_records(
     basis_vectors: np.ndarray,
     tie_break: TieBreak = "random",
     seed: SeedLike = None,
-    chunk_size: int = 256,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
     packed: bool = False,
 ) -> Union[np.ndarray, PackedHV]:
     """Batched key–value record encoding from basis indices.
@@ -140,11 +147,12 @@ def encode_keyvalue_records(
         out = np.empty((n, packed_width(d)), dtype=np.uint8)
     else:
         out = np.empty((n, d), dtype=np.uint8)
+    count_dtype = np.int16 if k <= 16_000 else np.int64
     for start in range(0, n, chunk_size):
         stop = min(n, start + chunk_size)
         vals = basis_vectors[value_indices[start:stop]]  # (c, k, d)
         bound = np.bitwise_xor(vals, keys[None, :, :])
-        counts = bound.sum(axis=1, dtype=np.int64)  # (c, d)
+        counts = bound.sum(axis=1, dtype=count_dtype)  # (c, d)
         encoded = majority_from_counts(counts, k, tie_break=tie_break, seed=rng)
         out[start:stop] = np.packbits(encoded, axis=-1) if packed else encoded
     return PackedHV(out, d) if packed else out

@@ -166,10 +166,24 @@ def majority_from_counts(
             f"tie_break must be one of {_TIE_BREAKS}, got {tie_break!r}"
         )
     counts = np.asarray(counts)
-    doubled = 2 * counts.astype(np.int64)
     total_arr = np.asarray(total, dtype=np.int64)
-    out = (doubled > total_arr).astype(BIT_DTYPE)
-    ties = doubled == total_arr
+    # Fast path for small scalar totals (the batched encoders): the whole
+    # comparison fits int16, which quarters the memory traffic of the
+    # threshold.  |counts| ≤ total ≤ 16000 keeps 2·counts within int16.
+    if (
+        counts.dtype.kind in "iu"
+        and counts.dtype.itemsize <= 2
+        and total_arr.ndim == 0
+        and 0 <= int(total_arr) <= 16_000
+    ):
+        doubled = counts.astype(np.int16, copy=False) * np.int16(2)
+        t16 = np.int16(int(total_arr))
+        out = (doubled > t16).astype(BIT_DTYPE)
+        ties = doubled == t16
+    else:
+        doubled = 2 * counts.astype(np.int64)
+        out = (doubled > total_arr).astype(BIT_DTYPE)
+        ties = doubled == total_arr
     if np.any(ties):
         if tie_break == "random":
             rng = ensure_rng(seed)

@@ -64,6 +64,18 @@ class CentroidClassifier:
     with an encoding function is the caller's job (see
     :mod:`repro.experiments.classification` for the paper's pipelines).
     This keeps the learning core independent of any particular encoder.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> x = np.vstack([np.zeros((3, 16)), np.ones((3, 16))]).astype(np.uint8)
+    >>> clf = CentroidClassifier(dim=16, tie_break="zeros")
+    >>> _ = clf.fit(x, ["lo", "lo", "lo", "hi", "hi", "hi"])
+    >>> noisy = np.zeros(16, dtype=np.uint8); noisy[0] = 1
+    >>> clf.predict(noisy)
+    ['lo']
+    >>> clf.score(x, ["lo", "lo", "lo", "hi", "hi", "hi"])
+    1.0
     """
 
     def __init__(
@@ -149,11 +161,73 @@ class CentroidClassifier:
             raise InvalidParameterError(
                 f"got {batch.shape[0]} samples but {len(labels)} labels"
             )
-        for label in set(labels):
+        # First-seen order (not set order): class insertion order decides
+        # nearest-class tie resolution, so it must be deterministic and
+        # must not depend on how the samples are sharded.
+        for label in dict.fromkeys(labels):
             mask = np.fromiter((l == label for l in labels), dtype=bool, count=len(labels))
             if label not in self._accumulators:
                 self._accumulators[label] = BundleAccumulator(self._dim)
             self._accumulators[label].add(batch[mask])
+        self._invalidate()
+        return self
+
+    def shard_counts(
+        self, encoded: EncodedBatch, labels: Sequence[Hashable]
+    ) -> dict[Hashable, BundleAccumulator]:
+        """Per-class bundle statistics of one training shard (pure).
+
+        Computes what :meth:`fit` would accumulate for these samples
+        without touching the classifier's state: a mapping from label to
+        a fresh :class:`~repro.hdc.packed.BundleAccumulator`, keyed in
+        first-seen order.  This is the unit of parallel training work —
+        workers call ``shard_counts`` on disjoint sample shards and the
+        parent folds the results back in shard order with
+        :meth:`absorb_counts`, which is bit-identical to one serial
+        :meth:`fit` over the concatenated samples.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> clf = CentroidClassifier(dim=8, tie_break="zeros")
+        >>> x = np.eye(8, dtype=np.uint8)
+        >>> y = [0, 0, 1, 1, 0, 1, 1, 0]
+        >>> serial = CentroidClassifier(dim=8, tie_break="zeros").fit(x, y)
+        >>> sharded = clf.absorb_counts(clf.shard_counts(x[:5], y[:5]))
+        >>> sharded = clf.absorb_counts(clf.shard_counts(x[5:], y[5:]))
+        >>> bool(np.array_equal(clf.class_vector(0), serial.class_vector(0)))
+        True
+        """
+        batch = self._check_batch(encoded)
+        labels = list(labels)
+        if len(labels) != batch.shape[0]:
+            raise InvalidParameterError(
+                f"got {batch.shape[0]} samples but {len(labels)} labels"
+            )
+        shard: dict[Hashable, BundleAccumulator] = {}
+        for label in dict.fromkeys(labels):
+            mask = np.fromiter((l == label for l in labels), dtype=bool, count=len(labels))
+            acc = BundleAccumulator(self._dim)
+            acc.add(batch[mask])
+            shard[label] = acc
+        return shard
+
+    def absorb_counts(
+        self, shard: dict[Hashable, BundleAccumulator]
+    ) -> "CentroidClassifier":
+        """Fold a :meth:`shard_counts` result into the classifier.
+
+        Merging is integer addition of per-class counts, so absorbing
+        shards in sample order reproduces a serial :meth:`fit` exactly
+        (bundle counts commute; class insertion order is the shard-order
+        first-seen order, matching the serial rule).  Returns ``self``.
+        """
+        for label, acc in shard.items():
+            if acc.dim != self._dim:
+                raise DimensionMismatchError(self._dim, acc.dim, "absorb_counts")
+            if label not in self._accumulators:
+                self._accumulators[label] = BundleAccumulator(self._dim)
+            self._accumulators[label].merge(acc)
         self._invalidate()
         return self
 
@@ -216,6 +290,18 @@ class CentroidClassifier:
         self._packed_table = PackedHV.pack(
             np.stack([vectors[c] for c in self._class_order], axis=0)
         )
+
+    def prepare(self) -> "CentroidClassifier":
+        """Materialise the packed prototype table eagerly; returns ``self``.
+
+        Prototypes are normally built lazily on the first prediction,
+        which consumes the tie-break RNG.  Sharded inference calls
+        ``prepare()`` once *before* fanning prediction chunks out to a
+        worker pool, so the workers only ever read frozen state (and the
+        RNG draw order matches a serial run exactly).
+        """
+        self._materialise()
+        return self
 
     def decision_distances(self, encoded: EncodedBatch) -> tuple[np.ndarray, list[Hashable]]:
         """Distance of each sample to every class-vector.

@@ -42,7 +42,11 @@ def _paired(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
 
 
 def accuracy(y_true, y_pred) -> float:
-    """Fraction of exactly matching labels."""
+    """Fraction of exactly matching labels.
+
+    >>> accuracy(["a", "b", "a", "b"], ["a", "b", "b", "b"])
+    0.75
+    """
     t, p = _paired(y_true, y_pred)
     return float(np.mean(t == p))
 
@@ -66,7 +70,11 @@ def confusion_matrix(y_true, y_pred, labels=None) -> tuple[np.ndarray, list]:
 
 
 def mean_squared_error(y_true, y_pred) -> float:
-    """``MSE = mean((y − ŷ)²)`` — the Table 2 metric."""
+    """``MSE = mean((y − ŷ)²)`` — the Table 2 metric.
+
+    >>> mean_squared_error([1.0, 2.0], [1.0, 4.0])
+    2.0
+    """
     t, p = _paired(y_true, y_pred)
     return float(np.mean((t.astype(np.float64) - p.astype(np.float64)) ** 2))
 
@@ -83,7 +91,11 @@ def mean_absolute_error(y_true, y_pred) -> float:
 
 
 def normalized_mse(mse: float, reference_mse: float) -> float:
-    """MSE relative to a reference (Figure 7/8): ``mse / reference_mse``."""
+    """MSE relative to a reference (Figure 7/8): ``mse / reference_mse``.
+
+    >>> normalized_mse(1.5, 3.0)
+    0.5
+    """
     if mse < 0 or reference_mse <= 0:
         raise InvalidParameterError(
             f"require mse ≥ 0 and reference_mse > 0, got {mse}, {reference_mse}"
@@ -96,6 +108,9 @@ def normalized_accuracy_error(acc: float, reference_acc: float) -> float:
 
     Equals 1 when the accuracy matches the reference, < 1 when better.
     Undefined for a perfect reference (``ᾱ = 1``).
+
+    >>> round(normalized_accuracy_error(0.9, 0.8), 6)  # better than reference
+    0.5
     """
     if not 0.0 <= acc <= 1.0 or not 0.0 <= reference_acc <= 1.0:
         raise InvalidParameterError("accuracies must lie in [0, 1]")

@@ -78,6 +78,19 @@ class HDRegressor:
     decode:
         ``"argmin"`` (the paper's cleanup) or ``"weighted"``
         (similarity-weighted average over the label grid; extension).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.basis import LevelBasis
+    >>> emb = LevelBasis(32, 2048, seed=0).linear_embedding(0.0, 1.0)
+    >>> x = emb.encode_packed(np.linspace(0.0, 1.0, 40))  # identity task
+    >>> y = np.linspace(0.0, 1.0, 40)
+    >>> model = HDRegressor(emb, seed=1).fit(x, y)
+    >>> model.num_samples
+    40
+    >>> float(abs(model.predict(x[:1])[0] - y[0]) < 0.2)
+    1.0
     """
 
     def __init__(
@@ -162,6 +175,62 @@ class HDRegressor:
         self._packed_model = None
         return self
 
+    def shard_bundle(self, encoded: EncodedBatch, y: np.ndarray) -> BundleAccumulator:
+        """Bundle statistics of one training shard (pure).
+
+        Computes the ``φ(x_i) ⊗ φ_ℓ(y_i)`` terms of these samples into a
+        *fresh* :class:`~repro.hdc.packed.BundleAccumulator`, leaving the
+        model untouched — the unit of parallel training work.  Folding
+        the shards back with :meth:`absorb` (in any order; integer counts
+        commute) reproduces a serial :meth:`fit` bit for bit.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> from repro.basis import LevelBasis
+        >>> emb = LevelBasis(4, 16, seed=0).linear_embedding(0.0, 1.0)
+        >>> x = np.random.default_rng(1).integers(0, 2, (6, 16)).astype(np.uint8)
+        >>> y = np.linspace(0.0, 1.0, 6)
+        >>> serial = HDRegressor(emb, tie_break="zeros").fit(x, y)
+        >>> sharded = HDRegressor(emb, tie_break="zeros")
+        >>> _ = sharded.absorb(sharded.shard_bundle(x[:3], y[:3]))
+        >>> _ = sharded.absorb(sharded.shard_bundle(x[3:], y[3:]))
+        >>> bool(np.array_equal(serial.model, sharded.model))
+        True
+        """
+        batch = self._check_batch(encoded)
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (batch.shape[0],):
+            raise InvalidParameterError(
+                f"y must have shape ({batch.shape[0]},), got {y.shape}"
+            )
+        acc = BundleAccumulator(self._dim)
+        if is_packed(batch):
+            acc.add(packed_bind(batch, self.label_embedding.encode_packed(y)))
+        else:
+            acc.add(np.bitwise_xor(batch, self.label_embedding.encode(y)))
+        return acc
+
+    def absorb(self, shard: BundleAccumulator) -> "HDRegressor":
+        """Fold a :meth:`shard_bundle` result into the model; returns ``self``."""
+        self._bundle.merge(shard)
+        self._model = None
+        self._packed_model = None
+        return self
+
+    def prepare(self) -> "HDRegressor":
+        """Materialise the packed model eagerly; returns ``self``.
+
+        The binary model is normally thresholded lazily on first use,
+        consuming the tie-break RNG.  Sharded inference calls
+        ``prepare()`` before fanning chunks out to a worker pool so the
+        workers only read frozen state.  (The integer model has no
+        materialisation step; this is then a no-op.)
+        """
+        if self.model_mode == "binary" and self._bundle.total > 0:
+            _ = self.packed_model
+        return self
+
     @property
     def model(self) -> np.ndarray:
         """The bundled model hypervector ``M`` (majority of all terms)."""
@@ -201,9 +270,15 @@ class HDRegressor:
         label_bits = self.label_embedding.basis.vectors
         total = self._bundle.total
         signed = (total - 2.0 * self._bundle.counts).astype(np.float32)  # Σ bipolar
-        queries = signed[None, :] * (1.0 - 2.0 * bits.astype(np.float32))
+        # score[q, k] = Σ_d signed_d · (1 − 2·bits_qd) · bipolar_kd.
+        # Folding `signed` into the label table first (A = signed ⊙ Lᵀ)
+        # turns the per-query bipolar conversion into a single
+        # bits @ A product: score = colsum(A) − 2 · bits @ A.
         label_bipolar = (1.0 - 2.0 * label_bits.astype(np.float32))
-        scores = queries @ label_bipolar.T
+        weighted = signed[:, None] * label_bipolar.T  # (d, k)
+        scores = weighted.sum(axis=0)[None, :] - 2.0 * (
+            bits.astype(np.float32) @ weighted
+        )
         return scores / (self._dim * max(total, 1))
 
     def predict(self, encoded: EncodedBatch) -> np.ndarray:

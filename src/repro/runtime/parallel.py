@@ -1,0 +1,235 @@
+"""Sharded training and query execution with deterministic merge.
+
+The learning models expose pure per-shard statistics
+(:meth:`~repro.learning.classifier.CentroidClassifier.shard_counts`,
+:meth:`~repro.learning.regression.HDRegressor.shard_bundle`) and
+:class:`~repro.hdc.memory.ItemMemory` exposes row partitioning
+(:meth:`~repro.hdc.memory.ItemMemory.shards`).  The functions here fan
+that work out over a :class:`~repro.runtime.pool.WorkerPool` and merge
+the pieces back **in shard order**, so every result is bit-identical to
+the corresponding serial call:
+
+* training — per-shard bundle counts are integer sums, which commute;
+  absorbing shards in sample order reproduces one serial ``fit`` exactly;
+* inference — per-chunk distance blocks are concatenated in chunk order,
+  reproducing the full distance matrix before any ``argmin``;
+* item-memory queries — per-row-shard distance columns are concatenated
+  in insertion order before the winner is taken.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.learning import CentroidClassifier
+>>> from repro.runtime import WorkerPool, fit_classifier_sharded
+>>> x = np.random.default_rng(0).integers(0, 2, (64, 32)).astype(np.uint8)
+>>> y = list(np.arange(64) % 4)
+>>> serial = CentroidClassifier(dim=32, tie_break="zeros").fit(x, y)
+>>> clf = CentroidClassifier(dim=32, tie_break="zeros")
+>>> with WorkerPool(workers=2) as pool:
+...     clf = fit_classifier_sharded(clf, x, y, pool, chunk_size=10)
+>>> clf.predict(x) == serial.predict(x)
+True
+
+These helpers close over live model objects and in-memory batches, so
+they require the (default) ``"thread"`` pool backend; the ``"process"``
+backend is for self-contained experiment cells (see
+:mod:`repro.experiments`), whose tasks are picklable.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..hdc.memory import ItemMemory
+from ..hdc.packed import PackedHV, is_packed
+from ..learning.classifier import CentroidClassifier
+from ..learning.metrics import accuracy
+from ..learning.regression import HDRegressor
+from .pool import WorkerPool
+
+__all__ = [
+    "fit_classifier_sharded",
+    "predict_classifier_sharded",
+    "score_classifier_sharded",
+    "fit_regressor_sharded",
+    "predict_regressor_sharded",
+    "memory_distances_sharded",
+    "memory_query_sharded",
+]
+
+#: Either hypervector representation accepted by the learning models.
+EncodedBatch = Union[np.ndarray, PackedHV]
+
+#: Default samples per training/inference shard.
+DEFAULT_CHUNK_SIZE = 1024
+
+
+def _num_rows(encoded: EncodedBatch) -> int:
+    if is_packed(encoded):
+        if encoded.ndim != 2:
+            raise InvalidParameterError(
+                f"expected an (n, d) batch, got shape {encoded.shape}"
+            )
+        return len(encoded)
+    arr = np.asarray(encoded)
+    if arr.ndim != 2:
+        raise InvalidParameterError(f"expected an (n, d) batch, got shape {arr.shape}")
+    return arr.shape[0]
+
+
+def _chunk_bounds(n: int, chunk_size: int) -> list[tuple[int, int]]:
+    if chunk_size < 1:
+        raise InvalidParameterError(f"chunk_size must be positive, got {chunk_size}")
+    return [(s, min(n, s + chunk_size)) for s in range(0, n, chunk_size)]
+
+
+# -- classifier ---------------------------------------------------------------
+
+def fit_classifier_sharded(
+    classifier: CentroidClassifier,
+    encoded: EncodedBatch,
+    labels: Sequence[Hashable],
+    pool: WorkerPool,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> CentroidClassifier:
+    """Train a centroid classifier with shard-parallel accumulation.
+
+    Workers compute per-class bundle counts on disjoint sample shards;
+    the parent absorbs them in shard order.  Bit-identical to
+    ``classifier.fit(encoded, labels)`` for any worker count.
+    """
+    labels = list(labels)
+    n = _num_rows(encoded)
+    if len(labels) != n:
+        raise InvalidParameterError(f"got {n} samples but {len(labels)} labels")
+    bounds = _chunk_bounds(n, chunk_size)
+    shards = pool.map(
+        lambda b: classifier.shard_counts(encoded[b[0]:b[1]], labels[b[0]:b[1]]),
+        bounds,
+    )
+    for shard in shards:
+        classifier.absorb_counts(shard)
+    return classifier
+
+
+def predict_classifier_sharded(
+    classifier: CentroidClassifier,
+    encoded: EncodedBatch,
+    pool: WorkerPool,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[Hashable]:
+    """Chunk-parallel :meth:`~repro.learning.classifier.CentroidClassifier.predict`.
+
+    The prototype table is materialised once up front
+    (:meth:`~repro.learning.classifier.CentroidClassifier.prepare`), then
+    query chunks run on the pool and their label lists are concatenated
+    in chunk order — identical to one serial ``predict`` call.
+    """
+    classifier.prepare()
+    bounds = _chunk_bounds(_num_rows(encoded), chunk_size)
+    parts = pool.map(lambda b: classifier.predict(encoded[b[0]:b[1]]), bounds)
+    return [label for part in parts for label in part]
+
+
+def score_classifier_sharded(
+    classifier: CentroidClassifier,
+    encoded: EncodedBatch,
+    labels: Sequence[Hashable],
+    pool: WorkerPool,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> float:
+    """Accuracy of :func:`predict_classifier_sharded` against ``labels``.
+
+    Uses the same metric implementation as
+    :meth:`~repro.learning.classifier.CentroidClassifier.score`, so the
+    serial and sharded score paths can never diverge.
+    """
+    predictions = predict_classifier_sharded(classifier, encoded, pool, chunk_size)
+    return accuracy(np.asarray(list(labels), dtype=object),
+                    np.asarray(predictions, dtype=object))
+
+
+# -- regressor ----------------------------------------------------------------
+
+def fit_regressor_sharded(
+    model: HDRegressor,
+    encoded: EncodedBatch,
+    y: np.ndarray,
+    pool: WorkerPool,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> HDRegressor:
+    """Train an HD regressor with shard-parallel accumulation.
+
+    Bit-identical to ``model.fit(encoded, y)``: the shard bundles are
+    integer count vectors merged by addition.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    n = _num_rows(encoded)
+    if y.shape != (n,):
+        raise InvalidParameterError(f"y must have shape ({n},), got {y.shape}")
+    bounds = _chunk_bounds(n, chunk_size)
+    shards = pool.map(
+        lambda b: model.shard_bundle(encoded[b[0]:b[1]], y[b[0]:b[1]]), bounds
+    )
+    for shard in shards:
+        model.absorb(shard)
+    return model
+
+
+def predict_regressor_sharded(
+    model: HDRegressor,
+    encoded: EncodedBatch,
+    pool: WorkerPool,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> np.ndarray:
+    """Chunk-parallel :meth:`~repro.learning.regression.HDRegressor.predict`."""
+    model.prepare()
+    bounds = _chunk_bounds(_num_rows(encoded), chunk_size)
+    parts = pool.map(lambda b: model.predict(encoded[b[0]:b[1]]), bounds)
+    return np.concatenate(parts, axis=0)
+
+
+# -- item memory --------------------------------------------------------------
+
+def memory_distances_sharded(
+    memory: ItemMemory,
+    queries: EncodedBatch,
+    pool: WorkerPool,
+    num_shards: int | None = None,
+) -> np.ndarray:
+    """Row-sharded :meth:`~repro.hdc.memory.ItemMemory.distances`.
+
+    Partitions the stored rows into ``num_shards`` (default: the pool's
+    worker count) contiguous sub-memories, scans them in parallel, and
+    concatenates the distance columns in insertion order — the result
+    equals ``memory.distances(queries)`` exactly.
+    """
+    shards = memory.shards(num_shards or pool.workers)
+    if not shards:
+        # Preserve the serial error contract (EmptyModelError on an
+        # empty memory) instead of np.hstack's bare ValueError.
+        return memory.distances(queries)
+    blocks = pool.map(lambda m: np.atleast_2d(m.distances(queries)), shards)
+    merged = np.hstack(blocks)
+    single = (queries.ndim if is_packed(queries) else np.asarray(queries).ndim) == 1
+    return merged[0] if single else merged
+
+
+def memory_query_sharded(
+    memory: ItemMemory,
+    queries: EncodedBatch,
+    pool: WorkerPool,
+    num_shards: int | None = None,
+) -> list[Hashable]:
+    """Row-sharded :meth:`~repro.hdc.memory.ItemMemory.query_batch`.
+
+    The winner is taken on the merged distance matrix, so ties resolve
+    toward the earliest-inserted item exactly as the serial scan does.
+    """
+    distances = np.atleast_2d(memory_distances_sharded(memory, queries, pool, num_shards))
+    winners = np.argmin(distances, axis=-1)
+    keys = memory.keys()
+    return [keys[i] for i in winners]

@@ -1,0 +1,150 @@
+"""Tests for sharded training/query execution (deterministic merge)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import LevelBasis
+from repro.hdc.memory import ItemMemory
+from repro.hdc.packed import PackedHV
+from repro.learning import CentroidClassifier, HDRegressor
+from repro.runtime import (
+    WorkerPool,
+    fit_classifier_sharded,
+    fit_regressor_sharded,
+    memory_distances_sharded,
+    memory_query_sharded,
+    predict_classifier_sharded,
+    predict_regressor_sharded,
+    score_classifier_sharded,
+)
+
+DIM = 256
+
+
+@pytest.fixture()
+def class_data():
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 2, (120, DIM)).astype(np.uint8)
+    y = list(rng.integers(0, 4, 120))
+    return x, y
+
+
+@pytest.fixture()
+def reg_data():
+    rng = np.random.default_rng(1)
+    x = rng.integers(0, 2, (90, DIM)).astype(np.uint8)
+    y = rng.random(90)
+    emb = LevelBasis(16, DIM, seed=2).linear_embedding(0.0, 1.0)
+    return x, y, emb
+
+
+class TestShardedClassifier:
+    def test_fit_bit_identical(self, class_data):
+        x, y = class_data
+        serial = CentroidClassifier(DIM, tie_break="zeros").fit(x, y)
+        sharded = CentroidClassifier(DIM, tie_break="zeros")
+        with WorkerPool(workers=3) as pool:
+            fit_classifier_sharded(sharded, x, y, pool, chunk_size=17)
+        assert serial.classes == sharded.classes
+        for cls in serial.classes:
+            assert np.array_equal(serial.class_vector(cls), sharded.class_vector(cls))
+
+    def test_fit_packed_batch(self, class_data):
+        x, y = class_data
+        serial = CentroidClassifier(DIM, tie_break="zeros").fit(x, y)
+        sharded = CentroidClassifier(DIM, tie_break="zeros")
+        with WorkerPool(workers=2) as pool:
+            fit_classifier_sharded(sharded, PackedHV.pack(x), y, pool, chunk_size=32)
+        for cls in serial.classes:
+            assert np.array_equal(serial.class_vector(cls), sharded.class_vector(cls))
+
+    def test_predict_and_score_match_serial(self, class_data):
+        x, y = class_data
+        clf = CentroidClassifier(DIM, tie_break="zeros").fit(x, y)
+        expected = clf.predict(x)
+        with WorkerPool(workers=3) as pool:
+            assert predict_classifier_sharded(clf, x, pool, chunk_size=13) == expected
+            assert score_classifier_sharded(clf, x, y, pool, chunk_size=13) == clf.score(x, y)
+
+    def test_shard_counts_pure(self, class_data):
+        x, y = class_data
+        clf = CentroidClassifier(DIM)
+        clf.shard_counts(x, y)
+        assert clf.classes == []  # state untouched
+
+    def test_label_count_mismatch(self, class_data):
+        x, y = class_data
+        with WorkerPool(workers=2) as pool:
+            with pytest.raises(Exception):
+                fit_classifier_sharded(CentroidClassifier(DIM), x, y[:-1], pool)
+
+
+class TestShardedRegressor:
+    def test_fit_bit_identical(self, reg_data):
+        x, y, emb = reg_data
+        serial = HDRegressor(emb, tie_break="zeros").fit(x, y)
+        sharded = HDRegressor(emb, tie_break="zeros")
+        with WorkerPool(workers=3) as pool:
+            fit_regressor_sharded(sharded, x, y, pool, chunk_size=11)
+        assert sharded.num_samples == serial.num_samples
+        assert np.array_equal(serial.model, sharded.model)
+
+    def test_predict_matches_serial(self, reg_data):
+        x, y, emb = reg_data
+        model = HDRegressor(emb, tie_break="zeros").fit(x, y)
+        expected = model.predict(x)
+        with WorkerPool(workers=3) as pool:
+            out = predict_regressor_sharded(model, x, pool, chunk_size=7)
+        assert np.array_equal(expected, out)
+
+    def test_integer_model_mode(self, reg_data):
+        x, y, emb = reg_data
+        model = HDRegressor(emb, tie_break="zeros", model="integer").fit(x, y)
+        expected = model.predict(x)
+        with WorkerPool(workers=2) as pool:
+            out = predict_regressor_sharded(model, x, pool, chunk_size=19)
+        assert np.array_equal(expected, out)
+
+
+class TestShardedMemory:
+    def _memory(self, rows: int = 23) -> tuple[ItemMemory, np.ndarray]:
+        rng = np.random.default_rng(3)
+        mem = ItemMemory(DIM)
+        for i in range(rows):
+            mem.add(f"item{i}", rng.integers(0, 2, DIM).astype(np.uint8))
+        queries = rng.integers(0, 2, (9, DIM)).astype(np.uint8)
+        return mem, queries
+
+    def test_shards_partition_rows(self):
+        mem, _ = self._memory()
+        shards = mem.shards(4)
+        assert sum(len(s) for s in shards) == len(mem)
+        assert [k for s in shards for k in s.keys()] == mem.keys()
+
+    def test_distances_match_serial(self):
+        mem, queries = self._memory()
+        expected = mem.distances(queries)
+        with WorkerPool(workers=3) as pool:
+            merged = memory_distances_sharded(mem, queries, pool, num_shards=5)
+        assert np.array_equal(expected, merged)
+
+    def test_single_query_shape(self):
+        mem, queries = self._memory()
+        with WorkerPool(workers=2) as pool:
+            out = memory_distances_sharded(mem, queries[0], pool, num_shards=3)
+        assert out.shape == (len(mem),)
+        assert np.array_equal(out, mem.distances(queries[0]))
+
+    def test_query_matches_serial(self):
+        mem, queries = self._memory()
+        with WorkerPool(workers=3) as pool:
+            assert memory_query_sharded(mem, queries, pool) == mem.query_batch(queries)
+
+    def test_more_shards_than_rows(self):
+        mem, queries = self._memory(rows=3)
+        with WorkerPool(workers=2) as pool:
+            assert memory_query_sharded(
+                mem, queries, pool, num_shards=16
+            ) == mem.query_batch(queries)

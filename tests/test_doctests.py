@@ -1,0 +1,35 @@
+"""Run the documented examples of the runtime/experiments/learning APIs.
+
+Mirrors the CI step ``pytest --doctest-modules src/repro/runtime
+src/repro/experiments src/repro/learning`` inside the tier-1 suite, so a
+docstring example can never rot unnoticed even in a plain ``pytest``
+run.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro.experiments
+import repro.learning
+import repro.runtime
+
+PACKAGES = (repro.runtime, repro.experiments, repro.learning)
+
+
+def _iter_modules():
+    for package in PACKAGES:
+        yield package.__name__
+        for info in pkgutil.iter_modules(package.__path__):
+            yield f"{package.__name__}.{info.name}"
+
+
+@pytest.mark.parametrize("module_name", sorted(_iter_modules()))
+def test_module_doctests(module_name: str):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {module_name}"
