@@ -53,6 +53,7 @@ from .exceptions import (
     EncodingDomainError,
     InvalidHypervectorError,
     InvalidParameterError,
+    ModelFormatError,
     ReproError,
 )
 from .hdc import (
@@ -72,8 +73,15 @@ from .hdc import (
 )
 from .learning import CentroidClassifier, HDRegressor
 from .runtime import ArtifactStore, BatchEncoder, WorkerPool
+from .serve import (
+    InferenceEngine,
+    OnlineLearner,
+    TrainedPipeline,
+    load_model,
+    save_model,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -109,6 +117,12 @@ __all__ = [
     "ArtifactStore",
     "BatchEncoder",
     "WorkerPool",
+    # serving
+    "save_model",
+    "load_model",
+    "TrainedPipeline",
+    "InferenceEngine",
+    "OnlineLearner",
     # errors
     "ReproError",
     "DimensionMismatchError",
@@ -116,4 +130,5 @@ __all__ = [
     "InvalidParameterError",
     "EncodingDomainError",
     "EmptyModelError",
+    "ModelFormatError",
 ]

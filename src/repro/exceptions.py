@@ -14,6 +14,7 @@ __all__ = [
     "InvalidParameterError",
     "EncodingDomainError",
     "EmptyModelError",
+    "ModelFormatError",
 ]
 
 
@@ -66,3 +67,12 @@ class EncodingDomainError(ReproError, ValueError):
 
 class EmptyModelError(ReproError, RuntimeError):
     """Raised when inference is attempted on a model with no training data."""
+
+
+class ModelFormatError(ReproError, ValueError):
+    """Raised when a persisted model file cannot be decoded.
+
+    Covers unreadable containers, missing or malformed manifests, format
+    versions newer than this library understands, and objects whose type
+    has no registered serializer (see :mod:`repro.serve.persist`).
+    """

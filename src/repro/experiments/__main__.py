@@ -8,6 +8,14 @@ Usage::
     python -m repro.experiments figure6 [--dim D]
     python -m repro.experiments figure7 [--dim D] [--workers N]
     python -m repro.experiments figure8 [--dim D] [--workers N] [--fast]
+    python -m repro.experiments train --out model.npz [--task T] [--basis B]
+    python -m repro.experiments serve --model model.npz [--input -]
+
+``train`` runs one paper pipeline (a JIGSAWS-like gesture task or the
+Mars Express regression) and writes the trained model as a portable
+``.npz`` artifact; ``serve`` loads such an artifact once and answers
+JSONL prediction requests from stdin or a file (see ``docs/SERVING.md``
+for the model format and a full walkthrough).
 
 Runtime flags (see ``docs/REPRODUCING.md`` for per-artifact guidance):
 
@@ -28,18 +36,23 @@ Runtime flags (see ``docs/REPRODUCING.md`` for per-artifact guidance):
 from __future__ import annotations
 
 import argparse
+import json
 import logging
+import math
 import sys
 
 import numpy as np
 
 from ..analysis import figure3_data, figure6_data, format_table, render_heatmap
+from ..exceptions import InvalidParameterError, ModelFormatError
 from ..learning.metrics import normalized_mse
-from ..runtime import ArtifactStore
-from .classification import run_table1
+from ..runtime import ArtifactStore, WorkerPool
+from ..serve import InferenceEngine, save_model
+from .classification import BASIS_KINDS, run_table1
 from .config import ClassificationConfig, RegressionConfig
 from .regression import run_table2
 from .rsweep import run_rsweep
+from .serving import SERVABLE_TASKS, train_pipeline
 
 __all__ = ["main"]
 
@@ -146,6 +159,136 @@ def _print_figure8(args: argparse.Namespace) -> None:
                        title="Figure 8: normalized error vs r (reference: random basis)"))
 
 
+def _run_train(args: argparse.Namespace) -> None:
+    """Train one servable pipeline and write it as a model artifact."""
+    if not args.out:
+        raise SystemExit("train requires --out MODEL.npz")
+    dim = _effective_dim(args)
+    if args.task == "mars_express":
+        config: ClassificationConfig | RegressionConfig = RegressionConfig(
+            dim=dim, seed=args.seed
+        )
+    else:
+        config = ClassificationConfig(dim=dim, seed=args.seed)
+    with WorkerPool(workers=args.workers) as pool:
+        pipeline = train_pipeline(args.task, args.basis, config=config, pool=pool)
+    path = save_model(pipeline, args.out)
+    meta = pipeline.metadata
+    metric = (
+        f"test accuracy {100 * meta['test_accuracy']:.1f}%"
+        if pipeline.kind == "classification"
+        else f"test MSE {meta['test_mse']:.1f}"
+    )
+    print(
+        f"trained {pipeline.kind} pipeline: task={meta['task']} "
+        f"basis={meta['basis_kind']} d={meta['dim']} seed={meta['seed']} "
+        f"({meta['num_train']} train / {meta['num_test']} test, {metric})"
+    )
+    print(f"saved model to {path} ({path.stat().st_size} bytes)")
+
+
+def _json_safe(value) -> object:
+    """Coerce a prediction to a JSON-serialisable scalar."""
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    return value
+
+
+def _parse_request(line: str, lineno: int, num_features: int) -> list[float]:
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise InvalidParameterError(f"request line {lineno} is not JSON: {exc}") from exc
+    if isinstance(payload, dict):
+        payload = payload.get("features")
+    if not isinstance(payload, list):
+        raise InvalidParameterError(
+            f"request line {lineno} must be a JSON list or {{\"features\": [...]}}"
+        )
+    if len(payload) != num_features:
+        raise InvalidParameterError(
+            f"request line {lineno} has {len(payload)} feature(s); "
+            f"this model takes {num_features}"
+        )
+    for v in payload:
+        try:
+            valid = (
+                isinstance(v, (int, float))
+                and not isinstance(v, bool)
+                and math.isfinite(float(v))
+            )
+        except OverflowError:  # ints too large for float
+            valid = False
+        if not valid:
+            raise InvalidParameterError(
+                f"request line {lineno} must contain only finite numbers"
+            )
+    return payload
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    """Answer JSONL prediction requests against a saved model.
+
+    Reads one request per line (``[f1, f2, …]`` or
+    ``{"features": [...]}``) from stdin (``--input -``) or a file and
+    writes one ``{"prediction": …}`` JSON object per request line, in
+    order.  With the default ``--batch-size 1`` every request is
+    answered as soon as it arrives (a request/response client over a
+    pipe never blocks); larger values micro-batch bulk input.
+    """
+    if not args.model:
+        raise SystemExit("serve requires --model MODEL.npz")
+    if args.input == "-":
+        stream = sys.stdin
+    else:
+        try:
+            # Open the request source before paying the model-load cost,
+            # so a bad path fails cleanly without spinning up a pool.
+            stream = open(args.input, encoding="utf-8")
+        except OSError as exc:
+            raise SystemExit(f"cannot open --input {args.input}: {exc}") from exc
+    engine = None
+    try:
+        try:
+            engine = InferenceEngine.from_path(args.model, workers=args.workers)
+        except (InvalidParameterError, ModelFormatError) as exc:
+            raise SystemExit(f"cannot load --model {args.model}: {exc}") from exc
+        print(
+            f"serving {engine.kind} model from {args.model} "
+            f"(d={engine.pipeline.dim}, {engine.num_features} feature(s)/record)",
+            file=sys.stderr,
+        )
+
+        def flush(batch: list[list[float]]) -> None:
+            if not batch:
+                return
+            predictions = engine.predict(np.asarray(batch, dtype=np.float64))
+            for value in predictions:
+                print(json.dumps({"prediction": _json_safe(value)}), flush=True)
+
+        pending: list[list[float]] = []
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                pending.append(_parse_request(line, lineno, engine.num_features))
+            except InvalidParameterError:
+                # Answer everything already accepted before failing, so
+                # the client knows exactly which requests were served.
+                flush(pending)
+                raise
+            if len(pending) >= args.batch_size:
+                flush(pending)
+                pending = []
+        flush(pending)
+    finally:
+        if engine is not None:
+            engine.close()
+        if stream is not sys.stdin:
+            stream.close()
+
+
 _TARGETS = {
     "table1": _print_table1,
     "table2": _print_table2,
@@ -153,6 +296,8 @@ _TARGETS = {
     "figure6": _print_figure6,
     "figure7": _print_figure7,
     "figure8": _print_figure8,
+    "train": _run_train,
+    "serve": _run_serve,
 }
 
 
@@ -188,7 +333,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="artifact cache directory (default: benchmarks/results, "
                              "or $REPRO_RESULTS_DIR)")
+    serving = parser.add_argument_group("model serving (train / serve targets)")
+    serving.add_argument("--task", choices=sorted(SERVABLE_TASKS), default="suturing",
+                         help="pipeline to train: a gesture task (classification) "
+                              "or mars_express (regression)")
+    serving.add_argument("--basis", choices=BASIS_KINDS, default="circular",
+                         help="value basis for the trained pipeline")
+    serving.add_argument("--out", default=None, metavar="MODEL.npz",
+                         help="where `train` writes the model artifact (required)")
+    serving.add_argument("--model", default=None, metavar="MODEL.npz",
+                         help="model artifact `serve` loads (required)")
+    serving.add_argument("--input", default="-",
+                         help="JSONL request source for `serve`: a path, or - for stdin")
+    serving.add_argument("--batch-size", type=int, default=1,
+                         help="records per serve micro-batch. The default (1) "
+                              "answers every request as it arrives — safe for "
+                              "interactive request/response clients; raise it "
+                              "for bulk piped input (responses stay in request "
+                              "order either way)")
     args = parser.parse_args(argv)
+    if args.batch_size < 1:
+        parser.error(f"--batch-size must be positive, got {args.batch_size}")
     logging.basicConfig(
         level=logging.INFO, stream=sys.stderr, format="[%(name)s] %(message)s"
     )

@@ -50,6 +50,15 @@ class NearestCentroidBaseline:
     *circular mean* and distances are summed Lund distances
     ``ρ(α, β) = (1 − cos(α − β))/2`` — the directional-statistics
     equivalent of nearest centroid.
+
+    Example
+    -------
+    >>> clf = NearestCentroidBaseline().fit([[0.0], [0.2], [5.0], [5.2]],
+    ...                                     ["lo", "lo", "hi", "hi"])
+    >>> clf.predict([[0.1], [5.1]])
+    ['lo', 'hi']
+    >>> clf.score([[0.1], [5.1]], ["lo", "hi"])
+    1.0
     """
 
     def __init__(self, metric: str = "euclidean") -> None:
@@ -91,7 +100,14 @@ class NearestCentroidBaseline:
 
 
 class KNNBaseline:
-    """Brute-force k-nearest-neighbour classifier (Euclidean or circular)."""
+    """Brute-force k-nearest-neighbour classifier (Euclidean or circular).
+
+    Example
+    -------
+    >>> knn = KNNBaseline(k=1).fit([[0.0], [1.0], [10.0]], ["a", "a", "b"])
+    >>> knn.predict([[0.4], [9.0]])
+    ['a', 'b']
+    """
 
     def __init__(self, k: int = 5, metric: str = "euclidean") -> None:
         if k < 1:
@@ -142,6 +158,14 @@ class TrigRegressionBaseline:
     concatenated.  This is the classical parametric treatment of
     circular–linear regression and a strong sanity baseline for the
     Beijing and Mars Express surrogates.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> theta = np.linspace(0.0, 2 * np.pi, 50)
+    >>> model = TrigRegressionBaseline(harmonics=1).fit(theta, np.cos(theta))
+    >>> round(model.score(theta, np.cos(theta)), 6)
+    0.0
     """
 
     def __init__(self, harmonics: int = 2) -> None:

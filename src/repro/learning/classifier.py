@@ -104,6 +104,18 @@ class CentroidClassifier:
         """Classes seen so far, in first-seen order."""
         return list(self._accumulators.keys())
 
+    @property
+    def num_samples(self) -> int:
+        """Net training samples across all classes (adds minus forgets).
+
+        >>> import numpy as np
+        >>> clf = CentroidClassifier(dim=4, tie_break="zeros")
+        >>> _ = clf.fit(np.eye(4, dtype=np.uint8), [0, 0, 1, 1])
+        >>> clf.num_samples
+        4
+        """
+        return sum(acc.total for acc in self._accumulators.values())
+
     def class_vector(self, label: Hashable) -> np.ndarray:
         """The binary prototype ``M_i`` of ``label`` (built on demand)."""
         self._materialise()
@@ -228,6 +240,65 @@ class CentroidClassifier:
             if label not in self._accumulators:
                 self._accumulators[label] = BundleAccumulator(self._dim)
             self._accumulators[label].merge(acc)
+        self._invalidate()
+        return self
+
+    def forget(
+        self, encoded: EncodedBatch, labels: Sequence[Hashable]
+    ) -> "CentroidClassifier":
+        """Remove previously fitted samples from their class accumulators.
+
+        The exact inverse of :meth:`fit` on the same ``(encoded, labels)``
+        pair: per-class bundle counts are integer sums, so subtracting a
+        batch restores the accumulator state bit for bit.  This is the
+        decremental half of online serving (expiring stale traffic from a
+        live model); labels never seen by :meth:`fit` are rejected, as is
+        forgetting more samples of a class than it currently holds (the
+        likely double-expiry bug, which would silently corrupt counts).
+        A class whose last sample is forgotten is removed entirely, so
+        :meth:`predict` can never answer with an empty class.
+        Returns ``self`` for chaining.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> x = np.eye(4, dtype=np.uint8)
+        >>> clf = CentroidClassifier(dim=4, tie_break="zeros").fit(x, [0, 0, 1, 1])
+        >>> before = clf.class_vector(0).copy()
+        >>> noise = np.ones((1, 4), dtype=np.uint8)
+        >>> _ = clf.fit(noise, [0]).forget(noise, [0])
+        >>> bool(np.array_equal(clf.class_vector(0), before))
+        True
+        """
+        batch = self._check_batch(encoded)
+        labels = list(labels)
+        if len(labels) != batch.shape[0]:
+            raise InvalidParameterError(
+                f"got {batch.shape[0]} samples but {len(labels)} labels"
+            )
+        masks: list[tuple[Hashable, np.ndarray]] = []
+        for label in dict.fromkeys(labels):
+            if label not in self._accumulators:
+                raise InvalidParameterError(
+                    f"label {label!r} was never seen by fit()"
+                )
+            mask = np.fromiter((l == label for l in labels), dtype=bool, count=len(labels))
+            if int(mask.sum()) > self._accumulators[label].total:
+                raise InvalidParameterError(
+                    f"cannot forget {int(mask.sum())} sample(s) of class "
+                    f"{label!r}: it only holds {self._accumulators[label].total}"
+                )
+            masks.append((label, mask))
+        # Validate every class before mutating any, so a rejected call
+        # leaves the model untouched.
+        for label, mask in masks:
+            acc = self._accumulators[label]
+            acc.subtract(batch[mask])
+            if acc.total == 0:
+                # Fully expired: drop the class so predict can never
+                # return a label backed by zero samples (and a full
+                # fit/forget round trip restores the pre-fit model).
+                del self._accumulators[label]
         self._invalidate()
         return self
 

@@ -56,6 +56,12 @@ def confusion_matrix(y_true, y_pred, labels=None) -> tuple[np.ndarray, list]:
 
     Returns the matrix and the label ordering used for its axes
     (sorted unique labels unless ``labels`` is supplied).
+
+    >>> mat, order = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+    >>> order
+    ['a', 'b']
+    >>> mat.tolist()
+    [[1, 1], [0, 1]]
     """
     t, p = _paired(y_true, y_pred)
     if labels is None:
@@ -80,12 +86,20 @@ def mean_squared_error(y_true, y_pred) -> float:
 
 
 def root_mean_squared_error(y_true, y_pred) -> float:
-    """``RMSE = √MSE`` (same units as the label)."""
+    """``RMSE = √MSE`` (same units as the label).
+
+    >>> root_mean_squared_error([0.0, 0.0], [3.0, 4.0])
+    3.5355339059327378
+    """
     return float(np.sqrt(mean_squared_error(y_true, y_pred)))
 
 
 def mean_absolute_error(y_true, y_pred) -> float:
-    """``MAE = mean(|y − ŷ|)``."""
+    """``MAE = mean(|y − ŷ|)``.
+
+    >>> mean_absolute_error([1.0, 2.0], [2.0, 0.0])
+    1.5
+    """
     t, p = _paired(y_true, y_pred)
     return float(np.mean(np.abs(t.astype(np.float64) - p.astype(np.float64))))
 

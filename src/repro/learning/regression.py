@@ -175,6 +175,49 @@ class HDRegressor:
         self._packed_model = None
         return self
 
+    def forget(self, encoded: EncodedBatch, y: np.ndarray) -> "HDRegressor":
+        """Remove previously fitted ``(encoded, y)`` samples from the memory.
+
+        The exact inverse of :meth:`fit` on the same batch: the bound
+        terms ``φ(x_i) ⊗ φ_ℓ(y_i)`` are subtracted from the integer
+        bundle, restoring its counts bit for bit — the decremental half
+        of online serving.  Forgetting more samples than the memory
+        holds is rejected (the likely double-expiry bug, which would
+        silently corrupt the counts).  Returns ``self`` for chaining.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> from repro.basis import LevelBasis
+        >>> emb = LevelBasis(4, 16, seed=0).linear_embedding(0.0, 1.0)
+        >>> x = np.random.default_rng(1).integers(0, 2, (6, 16)).astype(np.uint8)
+        >>> y = np.linspace(0.0, 1.0, 6)
+        >>> model = HDRegressor(emb, tie_break="zeros").fit(x, y)
+        >>> before = model.model.copy()
+        >>> _ = model.fit(x[:2], y[:2]).forget(x[:2], y[:2])
+        >>> bool(np.array_equal(model.model, before))
+        True
+        """
+        batch = self._check_batch(encoded)
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (batch.shape[0],):
+            raise InvalidParameterError(
+                f"y must have shape ({batch.shape[0]},), got {y.shape}"
+            )
+        if batch.shape[0] > self._bundle.total:
+            raise InvalidParameterError(
+                f"cannot forget {batch.shape[0]} sample(s): the model only "
+                f"holds {self._bundle.total}"
+            )
+        if is_packed(batch):
+            bound: EncodedBatch = packed_bind(batch, self.label_embedding.encode_packed(y))
+        else:
+            bound = np.bitwise_xor(batch, self.label_embedding.encode(y))
+        self._bundle.subtract(bound)
+        self._model = None
+        self._packed_model = None
+        return self
+
     def shard_bundle(self, encoded: EncodedBatch, y: np.ndarray) -> BundleAccumulator:
         """Bundle statistics of one training shard (pure).
 

@@ -68,6 +68,9 @@ def default_root() -> Path:
     working directory, so the CLI never scatters stray ``benchmarks/``
     directories); then ``~/.cache/repro-hdc/results`` for installed
     packages.
+
+    >>> isinstance(default_root(), Path)
+    True
     """
     env = os.environ.get(ROOT_ENV_VAR)
     if env:
@@ -111,6 +114,16 @@ class ArtifactStore:
         When ``False`` every lookup misses and every store is skipped —
         the object form of the CLI's ``--no-cache`` flag, so call sites
         need no branching.
+
+    Example
+    -------
+    >>> import tempfile
+    >>> store = ArtifactStore(root=tempfile.mkdtemp())
+    >>> store.load("demo", {"dim": 8}) is None   # cold cache
+    True
+    >>> _ = store.store("demo", {"dim": 8}, {"acc": 1.0})
+    >>> store.load("demo", {"dim": 8})
+    {'acc': 1.0}
     """
 
     def __init__(self, root: str | Path | None = None, enabled: bool = True) -> None:

@@ -70,6 +70,16 @@ class BatchEncoder:
         pattern of the ``"random"`` tie policy — results depend on
         ``chunk_size`` (through tie draws) but **not** on the worker
         count.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.basis import LevelBasis
+    >>> from repro.hdc.hypervector import random_hypervectors
+    >>> emb = LevelBasis(4, 32, seed=0).linear_embedding(0.0, 1.0)
+    >>> enc = BatchEncoder(random_hypervectors(2, 32, seed=1), emb, tie_break="zeros")
+    >>> enc.encode(np.array([[0.1, 0.9]]), packed=True).shape
+    (1, 32)
     """
 
     def __init__(

@@ -100,6 +100,14 @@ def fit_classifier_sharded(
     Workers compute per-class bundle counts on disjoint sample shards;
     the parent absorbs them in shard order.  Bit-identical to
     ``classifier.fit(encoded, labels)`` for any worker count.
+
+    >>> import numpy as np
+    >>> x = np.eye(8, dtype=np.uint8)
+    >>> clf = CentroidClassifier(dim=8, tie_break="zeros")
+    >>> with WorkerPool(workers=2) as pool:
+    ...     _ = fit_classifier_sharded(clf, x, [0, 1] * 4, pool, chunk_size=3)
+    >>> clf.classes
+    [0, 1]
     """
     labels = list(labels)
     n = _num_rows(encoded)
@@ -127,6 +135,13 @@ def predict_classifier_sharded(
     (:meth:`~repro.learning.classifier.CentroidClassifier.prepare`), then
     query chunks run on the pool and their label lists are concatenated
     in chunk order — identical to one serial ``predict`` call.
+
+    >>> import numpy as np
+    >>> x = np.eye(8, dtype=np.uint8)
+    >>> clf = CentroidClassifier(dim=8, tie_break="zeros").fit(x, [0] * 4 + [1] * 4)
+    >>> with WorkerPool(workers=2) as pool:
+    ...     predict_classifier_sharded(clf, x, pool, chunk_size=3) == clf.predict(x)
+    True
     """
     classifier.prepare()
     bounds = _chunk_bounds(_num_rows(encoded), chunk_size)
@@ -146,6 +161,14 @@ def score_classifier_sharded(
     Uses the same metric implementation as
     :meth:`~repro.learning.classifier.CentroidClassifier.score`, so the
     serial and sharded score paths can never diverge.
+
+    >>> import numpy as np
+    >>> x = np.eye(8, dtype=np.uint8)
+    >>> y = [0] * 4 + [1] * 4
+    >>> clf = CentroidClassifier(dim=8, tie_break="zeros").fit(x, y)
+    >>> with WorkerPool(workers=2) as pool:
+    ...     score_classifier_sharded(clf, x, y, pool) == clf.score(x, y)
+    True
     """
     predictions = predict_classifier_sharded(classifier, encoded, pool, chunk_size)
     return accuracy(np.asarray(list(labels), dtype=object),
@@ -165,6 +188,17 @@ def fit_regressor_sharded(
 
     Bit-identical to ``model.fit(encoded, y)``: the shard bundles are
     integer count vectors merged by addition.
+
+    >>> import numpy as np
+    >>> from repro.basis import LevelBasis
+    >>> from repro.learning import HDRegressor
+    >>> emb = LevelBasis(4, 16, seed=0).linear_embedding(0.0, 1.0)
+    >>> y = np.linspace(0.0, 1.0, 8)
+    >>> model = HDRegressor(emb, tie_break="zeros")
+    >>> with WorkerPool(workers=2) as pool:
+    ...     _ = fit_regressor_sharded(model, emb.encode(y), y, pool, chunk_size=3)
+    >>> model.num_samples
+    8
     """
     y = np.asarray(y, dtype=np.float64)
     n = _num_rows(encoded)
@@ -185,7 +219,19 @@ def predict_regressor_sharded(
     pool: WorkerPool,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> np.ndarray:
-    """Chunk-parallel :meth:`~repro.learning.regression.HDRegressor.predict`."""
+    """Chunk-parallel :meth:`~repro.learning.regression.HDRegressor.predict`.
+
+    >>> import numpy as np
+    >>> from repro.basis import LevelBasis
+    >>> from repro.learning import HDRegressor
+    >>> emb = LevelBasis(4, 16, seed=0).linear_embedding(0.0, 1.0)
+    >>> y = np.linspace(0.0, 1.0, 8)
+    >>> model = HDRegressor(emb, tie_break="zeros").fit(emb.encode(y), y)
+    >>> with WorkerPool(workers=2) as pool:
+    ...     sharded = predict_regressor_sharded(model, emb.encode(y), pool, chunk_size=3)
+    >>> bool(np.array_equal(sharded, model.predict(emb.encode(y))))
+    True
+    """
     model.prepare()
     bounds = _chunk_bounds(_num_rows(encoded), chunk_size)
     parts = pool.map(lambda b: model.predict(encoded[b[0]:b[1]]), bounds)
@@ -206,6 +252,16 @@ def memory_distances_sharded(
     worker count) contiguous sub-memories, scans them in parallel, and
     concatenates the distance columns in insertion order — the result
     equals ``memory.distances(queries)`` exactly.
+
+    >>> import numpy as np
+    >>> mem = ItemMemory(dim=8)
+    >>> for i in range(4):
+    ...     mem.add(i, np.full(8, i % 2, dtype=np.uint8))
+    >>> q = np.zeros((2, 8), dtype=np.uint8)
+    >>> with WorkerPool(workers=2) as pool:
+    ...     sharded = memory_distances_sharded(mem, q, pool)
+    >>> bool(np.array_equal(sharded, mem.distances(q)))
+    True
     """
     shards = memory.shards(num_shards or pool.workers)
     if not shards:
@@ -228,6 +284,14 @@ def memory_query_sharded(
 
     The winner is taken on the merged distance matrix, so ties resolve
     toward the earliest-inserted item exactly as the serial scan does.
+
+    >>> import numpy as np
+    >>> mem = ItemMemory(dim=8)
+    >>> for i in range(4):
+    ...     mem.add(i, np.full(8, i % 2, dtype=np.uint8))
+    >>> with WorkerPool(workers=2) as pool:
+    ...     memory_query_sharded(mem, np.ones((1, 8), dtype=np.uint8), pool)
+    [1]
     """
     distances = np.atleast_2d(memory_distances_sharded(memory, queries, pool, num_shards))
     winners = np.argmin(distances, axis=-1)

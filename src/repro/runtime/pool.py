@@ -81,6 +81,12 @@ class WorkerPool:
     The pool is a context manager; it may also be used without ``with``,
     in which case each :meth:`map` call tears its executor down before
     returning.
+
+    Example
+    -------
+    >>> with WorkerPool(workers=2) as pool:
+    ...     pool.starmap(pow, [(2, 3), (3, 2)])
+    [8, 9]
     """
 
     def __init__(self, workers: int | None = 1, backend: str = "thread") -> None:

@@ -1,0 +1,45 @@
+"""Model persistence and online inference: train once, serve forever.
+
+Everything upstream of this package produces models that die with the
+process; :mod:`repro.serve` is the subsystem that makes them durable and
+servable:
+
+* :mod:`repro.serve.persist` — ``save_model`` / ``load_model``, a
+  versioned npz + JSON-manifest container covering the classifiers,
+  regressors, item memories, accumulators, basis sets, embeddings and
+  pipelines, with bit-identical round trips (format spec in
+  ``docs/SERVING.md``);
+* :mod:`repro.serve.pipeline` — :class:`TrainedPipeline`, the servable
+  unit (encoder specification + trained model + provenance);
+* :mod:`repro.serve.engine` — :class:`InferenceEngine`, which loads a
+  pipeline once and answers single/micro-batched predict calls, with
+  optional :class:`~repro.runtime.pool.WorkerPool` sharding;
+* :mod:`repro.serve.online` — :class:`OnlineLearner`, incremental
+  add/subtract/merge updates on a live model plus atomic checkpoints.
+
+The CLI surface lives one layer up: ``python -m repro.experiments train
+--out model.npz`` and ``… serve --model model.npz --input -`` (see
+:mod:`repro.experiments.serving` and ``docs/SERVING.md``).
+"""
+
+from .engine import InferenceEngine
+from .online import OnlineLearner
+from .persist import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    describe_model,
+    load_model,
+    save_model,
+)
+from .pipeline import TrainedPipeline
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "save_model",
+    "load_model",
+    "describe_model",
+    "TrainedPipeline",
+    "InferenceEngine",
+    "OnlineLearner",
+]

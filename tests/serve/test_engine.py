@@ -1,0 +1,133 @@
+"""InferenceEngine: save → reload → serve must be bit-identical.
+
+Covers the acceptance contract of the serving subsystem: a model
+trained in one process, saved, and reloaded in a fresh engine answers
+every request with exactly the bits the in-memory model produces — for
+classification and regression pipelines, single records and
+micro-batches, serial and sharded workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import RandomBasis
+from repro.datasets import make_jigsaws_like
+from repro.exceptions import InvalidParameterError
+from repro.experiments.config import ClassificationConfig, RegressionConfig
+from repro.experiments.serving import (
+    train_classification_pipeline,
+    train_pipeline,
+    train_regression_pipeline,
+)
+from repro.serve import InferenceEngine, load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def classification_pipeline():
+    cfg = ClassificationConfig(dim=256, seed=7)
+    return train_classification_pipeline("suturing", "circular", config=cfg)
+
+
+@pytest.fixture(scope="module")
+def regression_pipeline():
+    cfg = RegressionConfig(dim=256, seed=7)
+    return train_regression_pipeline("circular", config=cfg)
+
+
+@pytest.fixture(scope="module")
+def gesture_records():
+    split = make_jigsaws_like(task="suturing", seed=99)
+    return split.test_features[:40]
+
+
+class TestClassificationServing:
+    def test_reloaded_engine_is_bit_identical(
+        self, classification_pipeline, gesture_records, tmp_path
+    ):
+        path = tmp_path / "clf.npz"
+        save_model(classification_pipeline, path)
+        live = InferenceEngine(classification_pipeline)
+        reloaded = InferenceEngine.from_path(path)
+        assert reloaded.predict(gesture_records) == live.predict(gesture_records)
+        assert np.array_equal(
+            reloaded.encode(gesture_records).data, live.encode(gesture_records).data
+        )
+
+    def test_single_record_matches_batch(self, classification_pipeline, gesture_records):
+        engine = InferenceEngine(classification_pipeline)
+        batch = engine.predict(gesture_records)
+        singles = [engine.predict_one(row) for row in gesture_records]
+        assert singles == batch
+
+    def test_workers_bit_identical(self, classification_pipeline, gesture_records, tmp_path):
+        path = tmp_path / "clf.npz"
+        save_model(classification_pipeline, path)
+        with InferenceEngine.from_path(path, workers=1) as serial:
+            expected = serial.predict(gesture_records)
+        with InferenceEngine.from_path(path, workers=3) as sharded:
+            assert sharded.predict(gesture_records) == expected
+
+    def test_reported_accuracy_is_the_serving_accuracy(self, classification_pipeline):
+        """metadata['test_accuracy'] must describe the serve path exactly."""
+        from repro._rng import ensure_rng
+
+        # Rebuild the training split exactly as the trainer derived it.
+        split = make_jigsaws_like(task="suturing", seed=ensure_rng(7).spawn(4)[0])
+        with InferenceEngine(classification_pipeline) as engine:
+            predictions = engine.predict(split.test_features)
+        accuracy = float(np.mean(
+            [p == t for p, t in zip(predictions, split.test_labels.tolist())]
+        ))
+        assert accuracy == classification_pipeline.metadata["test_accuracy"]
+
+    def test_metadata_travels_with_the_model(self, classification_pipeline, tmp_path):
+        path = tmp_path / "clf.npz"
+        save_model(classification_pipeline, path)
+        restored = load_model(path)
+        assert restored.metadata == classification_pipeline.metadata
+        assert restored.metadata["task"] == "suturing"
+
+    def test_wrong_feature_count_rejected(self, classification_pipeline):
+        engine = InferenceEngine(classification_pipeline)
+        with pytest.raises(InvalidParameterError, match="feature"):
+            engine.predict(np.zeros((3, 4)))
+
+
+class TestRegressionServing:
+    def test_reloaded_engine_is_bit_identical(self, regression_pipeline, tmp_path):
+        path = tmp_path / "reg.npz"
+        save_model(regression_pipeline, path)
+        live = InferenceEngine(regression_pipeline)
+        reloaded = InferenceEngine.from_path(path)
+        anomalies = np.linspace(0.0, 2 * np.pi, 50)[:, None]
+        assert np.array_equal(reloaded.predict(anomalies), live.predict(anomalies))
+
+    def test_predict_one_scalar(self, regression_pipeline):
+        engine = InferenceEngine(regression_pipeline)
+        value = engine.predict_one([1.25])
+        assert np.isscalar(value) or np.asarray(value).ndim == 0
+
+    def test_workers_bit_identical(self, regression_pipeline):
+        anomalies = np.linspace(0.0, 2 * np.pi, 64)[:, None]
+        with InferenceEngine(regression_pipeline, workers=1) as serial:
+            expected = serial.predict(anomalies)
+        with InferenceEngine(regression_pipeline, workers=4) as sharded:
+            assert np.array_equal(sharded.predict(anomalies), expected)
+
+
+class TestEngineGuards:
+    def test_non_pipeline_artifact_rejected(self, tmp_path):
+        path = tmp_path / "basis.npz"
+        save_model(RandomBasis(4, 64, seed=0), path)
+        with pytest.raises(InvalidParameterError, match="TrainedPipeline"):
+            InferenceEngine.from_path(path)
+
+    def test_train_pipeline_dispatch(self):
+        with pytest.raises(InvalidParameterError, match="unknown task"):
+            train_pipeline("no_such_task")
+        with pytest.raises(InvalidParameterError, match="RegressionConfig"):
+            train_pipeline("mars_express", config=ClassificationConfig(dim=64))
+        with pytest.raises(InvalidParameterError, match="ClassificationConfig"):
+            train_pipeline("suturing", config=RegressionConfig(dim=64))

@@ -1,0 +1,45 @@
+"""Tier-1 guard for the documentation gate (``tools/check_docs.py``).
+
+Runs the same link check and executable-example check as the CI docs
+job, so a broken doc link or a rotted walkthrough fails a plain
+``pytest`` run too — not just CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_markdown_links_resolve():
+    checker = _load_checker()
+    assert checker.check_links() == []
+
+
+def test_doc_python_blocks_execute():
+    checker = _load_checker()
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    for rel_path in checker.EXECUTABLE_DOCS:
+        assert checker.run_python_blocks(rel_path) == [], rel_path
+
+
+def test_every_doc_has_content():
+    checker = _load_checker()
+    files = checker.iter_doc_files()
+    assert len(files) >= 5  # README + ARCHITECTURE + REPRODUCING + API + SERVING
+    for doc in files:
+        assert doc.stat().st_size > 200, f"{doc} looks empty"

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Docs gate: markdown links must resolve, documented code must run.
+
+Two checks, both designed so the documentation can never silently rot:
+
+1. **Link check** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must point at a file that exists in the repository
+   (external ``http(s)``/``mailto`` links and pure ``#anchors`` are
+   skipped — no network access here).
+2. **Executable examples** — every fenced ```` ```python ```` block in
+   the files listed in :data:`EXECUTABLE_DOCS` is executed, in order,
+   in one shared namespace per file, inside a throwaway working
+   directory (so examples may freely write model artifacts).  A block
+   that raises fails the gate.
+
+Run it from anywhere: ``python tools/check_docs.py``.  Exit code 0 on
+success, 1 with a per-failure report otherwise.  The same gate runs in
+CI (the ``docs`` job) and inside the tier-1 suite
+(``tests/test_docs_check.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Files whose ```python blocks are executed (repo-relative).
+EXECUTABLE_DOCS = ("docs/SERVING.md", "docs/API.md")
+
+#: Markdown inline links: [text](target).  Good enough for these docs —
+#: no reference-style links or angle-bracket autolinks are used.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_FENCE_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def iter_doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_links() -> list[str]:
+    """Return a list of broken-link descriptions (empty = all good)."""
+    failures: list[str] = []
+    for doc in iter_doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return failures
+
+
+def extract_python_blocks(path: Path) -> list[tuple[int, str]]:
+    """``(starting_line, source)`` for every ```python fence in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    blocks = []
+    for match in _FENCE_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 2  # first code line
+        blocks.append((line, match.group(1)))
+    return blocks
+
+
+def run_python_blocks(rel_path: str) -> list[str]:
+    """Execute a doc's python blocks sequentially; return failures."""
+    doc = REPO_ROOT / rel_path
+    blocks = extract_python_blocks(doc)
+    if not blocks:
+        return [f"{rel_path}: expected at least one ```python block, found none"]
+    failures: list[str] = []
+    namespace: dict = {"__name__": f"docs_exec_{doc.stem}"}
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        os.chdir(scratch)  # examples write model files into the scratch dir
+        try:
+            for line, source in blocks:
+                try:
+                    code = compile(source, f"{rel_path}:{line}", "exec")
+                    exec(code, namespace)  # noqa: S102 - executing our own docs
+                except Exception:
+                    failures.append(
+                        f"{rel_path} block at line {line} failed:\n"
+                        + traceback.format_exc(limit=4)
+                    )
+                    break  # later blocks in this file may depend on this one
+        finally:
+            os.chdir(cwd)
+    return failures
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    failures = check_links()
+    docs_checked = len(iter_doc_files())
+    blocks_run = 0
+    for rel_path in EXECUTABLE_DOCS:
+        doc_failures = run_python_blocks(rel_path)
+        failures.extend(doc_failures)
+        if not doc_failures:
+            blocks_run += len(extract_python_blocks(REPO_ROOT / rel_path))
+    if failures:
+        print(f"docs check FAILED ({len(failures)} problem(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"docs check OK: links in {docs_checked} file(s) resolve, "
+        f"{blocks_run} python block(s) executed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
