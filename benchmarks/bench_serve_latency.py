@@ -1,0 +1,111 @@
+"""Serve-loop micro-benchmark: per-call latency of ``predict_one``.
+
+``InferenceEngine.predict_one`` used to pay the full micro-batch
+machinery per record (feature-matrix validation, chunk partitioning,
+worker-pool bookkeeping); it now encodes through the single-record fast
+path (:meth:`repro.runtime.batch.BatchEncoder.encode_one`) and predicts
+inline, with the ``auto`` kernel dispatch landing one-row scans on the
+XOR backend.  This benchmark measures the per-call latency drop on a
+classification pipeline (the JIGSAWS-like serving task) and asserts:
+
+* the fast path answers **bit-identically** to the batch route, and
+* it is not slower (with generous tolerance for runner noise).
+
+Writes ``benchmarks/results/BENCH_serve_latency.json``.  Run it::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import make_jigsaws_like
+from repro.experiments.config import ClassificationConfig
+from repro.experiments.serving import train_classification_pipeline
+from repro.serve import InferenceEngine
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The fast path must not be slower than the batch route (it is several
+#: times faster; the slack absorbs scheduler noise on CI runners).
+GATE_TOLERANCE = 1.10
+
+
+def per_call_seconds(fn, records, repeats: int) -> float:
+    """Best-of-``repeats`` mean per-call latency over all ``records``."""
+    for row in records[:3]:
+        fn(row)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for row in records:
+            fn(row)
+        best = min(best, (time.perf_counter() - start) / len(records))
+    return best
+
+
+def run_suite(fast: bool = False) -> dict:
+    dim = 1024 if fast else 10_000
+    calls = 50 if fast else 200
+    repeats = 3 if fast else 5
+    pipeline = train_classification_pipeline(
+        "suturing", "circular", config=ClassificationConfig(dim=dim, seed=7)
+    )
+    records = make_jigsaws_like(task="suturing", seed=99).test_features[:calls]
+
+    configs = {}
+    for workers in (1, 4):
+        with InferenceEngine(pipeline, workers=workers) as engine:
+            batch_route = [engine.predict(np.asarray(row)[None, :])[0] for row in records]
+            fast_route = [engine.predict_one(row) for row in records]
+            assert fast_route == batch_route, "fast path answers differ from batch route"
+
+            batch_s = per_call_seconds(
+                lambda row: engine.predict(np.asarray(row)[None, :])[0], records, repeats
+            )
+            fast_s = per_call_seconds(engine.predict_one, records, repeats)
+        configs[f"workers={workers}"] = {
+            "batch_route_us_per_call": round(batch_s * 1e6, 1),
+            "fast_path_us_per_call": round(fast_s * 1e6, 1),
+            "latency_drop": round(batch_s / fast_s, 2),
+        }
+
+    return {
+        "mode": "fast" if fast else "full",
+        "workload": f"single-record classification predicts, d={dim}, "
+                    f"{pipeline.num_features} features, {calls} calls",
+        "configs": configs,
+        "bit_identical": True,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced scale for CI perf-smoke runs")
+    args = parser.parse_args()
+
+    summary = run_suite(fast=args.fast)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_serve_latency.json"
+    out_path.write_text(json.dumps(summary, indent=2) + "\n")
+    print(json.dumps(summary, indent=2))
+    print(f"\nsummary written to {out_path}")
+
+    for name, cfg in summary["configs"].items():
+        if cfg["fast_path_us_per_call"] > cfg["batch_route_us_per_call"] * GATE_TOLERANCE:
+            raise SystemExit(
+                f"FAIL ({name}): predict_one fast path ({cfg['fast_path_us_per_call']}us) "
+                f"is slower than the batch route ({cfg['batch_route_us_per_call']}us)"
+            )
+        print(f"{name}: fast path is {cfg['latency_drop']}x faster per call (bit-identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -81,7 +81,7 @@ from .serve import (
     save_model,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

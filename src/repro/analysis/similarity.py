@@ -7,10 +7,11 @@ the similarity of every member to a fixed reference member as the
 series; the benchmark harness prints them and the examples render them as
 ASCII heatmaps.
 
-All distances route through the shared packed popcount kernel
-(:func:`repro.hdc.packed.packed_pairwise_hamming`) on each basis set's
-cached packed table — this module derives no distance arithmetic of its
-own.
+All distances route through the shared similarity-kernel subsystem
+(:mod:`repro.hdc.kernels`) on each basis set's cached packed table —
+this module derives no distance arithmetic of its own.  Every function
+threads an optional ``backend=`` argument (``"auto"``/``"gemm"``/
+``"xor"``); all backends produce bit-identical matrices.
 """
 
 from __future__ import annotations
@@ -38,20 +39,23 @@ def basis_similarity_matrix(
     dim: int,
     r: float = 0.0,
     seed: SeedLike = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Pairwise similarity matrix ``1 − δ`` of a freshly generated basis.
 
-    Computed by the basis set itself, i.e. as XOR + popcount over its
-    cached packed table.
+    Computed by the basis set itself over its cached packed table;
+    ``backend`` selects the similarity kernel
+    (:mod:`repro.hdc.kernels` — every choice is bit-identical).
     """
     basis = make_basis(kind, size, dim, r=r, seed=seed)
-    return basis.similarity_matrix()
+    return basis.similarity_matrix(backend=backend)
 
 
 def figure3_data(
     size: int = 10,
     dim: int = 10_000,
     seed: SeedLike = None,
+    backend: str | None = None,
 ) -> dict[str, np.ndarray]:
     """Similarity matrices for the three basis kinds of Figure 3.
 
@@ -60,7 +64,7 @@ def figure3_data(
     """
     rng = ensure_rng(seed)
     return {
-        kind: basis_similarity_matrix(kind, size, dim, seed=rng)
+        kind: basis_similarity_matrix(kind, size, dim, seed=rng, backend=backend)
         for kind in FIGURE3_KINDS
     }
 
@@ -71,6 +75,7 @@ def reference_similarity_profile(
     r: float,
     reference: int = 0,
     seed: SeedLike = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Similarity of every circular-set member to a reference member.
 
@@ -82,7 +87,7 @@ def reference_similarity_profile(
             f"reference must index into the set of size {size}, got {reference}"
         )
     basis = make_basis("circular", size, dim, r=r, seed=seed)
-    return basis.similarity_matrix()[reference]
+    return basis.similarity_matrix(backend=backend)[reference]
 
 
 def figure6_data(
@@ -90,10 +95,11 @@ def figure6_data(
     size: int = 10,
     dim: int = 10_000,
     seed: SeedLike = None,
+    backend: str | None = None,
 ) -> dict[float, np.ndarray]:
     """Reference-similarity profiles for each ``r`` of Figure 6."""
     rng = ensure_rng(seed)
     return {
-        float(r): reference_similarity_profile(size, dim, r, seed=rng)
+        float(r): reference_similarity_profile(size, dim, r, seed=rng, backend=backend)
         for r in r_values
     }

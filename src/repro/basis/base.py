@@ -29,8 +29,9 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..hdc.hypervector import as_hypervector
+from ..hdc.kernels import pairwise_hamming
 from ..hdc.ops import hamming_distance
-from ..hdc.packed import PackedHV, coerce_packed, packed_pairwise_hamming
+from ..hdc.packed import PackedHV, coerce_packed
 from .quantize import Discretizer
 
 __all__ = ["BasisSet", "Embedding"]
@@ -88,17 +89,18 @@ class BasisSet(abc.ABC):
         """Empirical normalized Hamming distance between members ``i`` and ``j``."""
         return float(hamming_distance(self._vectors[i], self._vectors[j]))
 
-    def distance_matrix(self) -> np.ndarray:
+    def distance_matrix(self, backend: str | None = None) -> np.ndarray:
         """All-pairs normalized Hamming distance, shape ``(m, m)``.
 
-        Runs on the cached packed table (XOR + popcount), so repeated
-        analyses never re-pack the vectors.
+        Runs on the cached packed table through the similarity-kernel
+        subsystem (:mod:`repro.hdc.kernels`), so repeated analyses never
+        re-pack the vectors; ``backend`` forces a kernel (bit-identical).
         """
-        return packed_pairwise_hamming(self.packed)
+        return pairwise_hamming(self.packed, backend=backend)
 
-    def similarity_matrix(self) -> np.ndarray:
+    def similarity_matrix(self, backend: str | None = None) -> np.ndarray:
         """All-pairs similarity ``1 − δ`` — the quantity plotted in Figure 3."""
-        return 1.0 - self.distance_matrix()
+        return 1.0 - self.distance_matrix(backend=backend)
 
     @abc.abstractmethod
     def expected_distance(self, i: int, j: int) -> float:
@@ -197,19 +199,20 @@ class Embedding:
         idx = self.indices(values)
         return PackedHV(self.basis.packed.data[idx], self.dim)
 
-    def decode(self, hv: np.ndarray | PackedHV) -> np.ndarray:
+    def decode(self, hv: np.ndarray | PackedHV, backend: str | None = None) -> np.ndarray:
         """Decode hypervector(s) to representative value(s) ``ξ_l``.
 
-        Performs a cleanup against the whole basis table (nearest member by
-        Hamming distance, via the packed popcount kernel) and returns that
-        member's grid value — exactly the two-step decode
+        Performs a cleanup against the whole basis table (nearest member
+        by Hamming distance, via the similarity-kernel subsystem) and
+        returns that member's grid value — exactly the two-step decode
         ``l = arg min δ(·, L_i)``, ``x = φ_ℓ⁻¹(L_l)`` from the paper's
-        regression framework.  Accepts packed or unpacked queries.
+        regression framework.  Accepts packed or unpacked queries;
+        ``backend`` forces a kernel (bit-identical).
         """
         packed = coerce_packed(hv, self.dim)
         single = packed.ndim == 1
         batch = PackedHV(packed.data[None, :], self.dim) if single else packed
-        dist = packed_pairwise_hamming(batch, self.basis.packed)
+        dist = pairwise_hamming(batch, self.basis.packed, backend=backend)
         idx = np.argmin(dist, axis=-1)
         values = self.discretizer.value(idx)
         return values[0] if single else values

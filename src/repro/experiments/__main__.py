@@ -250,7 +250,9 @@ def _run_serve(args: argparse.Namespace) -> None:
     engine = None
     try:
         try:
-            engine = InferenceEngine.from_path(args.model, workers=args.workers)
+            engine = InferenceEngine.from_path(
+                args.model, workers=args.workers, backend=args.kernel
+            )
         except (InvalidParameterError, ModelFormatError) as exc:
             raise SystemExit(f"cannot load --model {args.model}: {exc}") from exc
         print(
@@ -262,7 +264,12 @@ def _run_serve(args: argparse.Namespace) -> None:
         def flush(batch: list[list[float]]) -> None:
             if not batch:
                 return
-            predictions = engine.predict(np.asarray(batch, dtype=np.float64))
+            if len(batch) == 1:
+                # Single-record fast path (bit-identical to the batch
+                # route); the request/response loop lives here.
+                predictions = [engine.predict_one(np.asarray(batch[0], dtype=np.float64))]
+            else:
+                predictions = engine.predict(np.asarray(batch, dtype=np.float64))
             for value in predictions:
                 print(json.dumps({"prediction": _json_safe(value)}), flush=True)
 
@@ -351,6 +358,10 @@ def main(argv: list[str] | None = None) -> int:
                               "interactive request/response clients; raise it "
                               "for bulk piped input (responses stay in request "
                               "order either way)")
+    serving.add_argument("--kernel", choices=["auto", "gemm", "xor"], default=None,
+                         help="similarity-kernel backend for `serve` distance "
+                              "scans (default: REPRO_KERNEL env or auto; all "
+                              "choices answer bit-identically)")
     args = parser.parse_args(argv)
     if args.batch_size < 1:
         parser.error(f"--batch-size must be positive, got {args.batch_size}")

@@ -20,6 +20,17 @@ from .hypervector import (
     unpack_bits,
     zeros,
 )
+from .kernels import (
+    AUTO_CROSSOVER,
+    BACKENDS,
+    DEFAULT_CELL_BUDGET,
+    TopK,
+    cell_budget,
+    pairwise_hamming_counts,
+    resolve_backend,
+    topk_hamming,
+    use_gemm,
+)
 from .memory import ItemMemory
 from .packed import (
     BundleAccumulator,
@@ -84,6 +95,15 @@ __all__ = [
     "similarity",
     "pairwise_hamming",
     "pairwise_similarity",
+    "BACKENDS",
+    "AUTO_CROSSOVER",
+    "DEFAULT_CELL_BUDGET",
+    "TopK",
+    "cell_budget",
+    "resolve_backend",
+    "use_gemm",
+    "pairwise_hamming_counts",
+    "topk_hamming",
     "PackedHV",
     "BundleAccumulator",
     "is_packed",

@@ -1,0 +1,367 @@
+"""The similarity-kernel subsystem: exact backends with size-aware dispatch.
+
+Every prediction, retrieval and figure in this reproduction bottoms out
+in one computation — the all-pairs normalized Hamming distance between
+two batches of packed hypervectors.  This module provides three **exact,
+bit-identical** ways to compute it, plus a fused top-k retrieval kernel:
+
+* ``"xor"`` (alias ``"xor-popcount"``) — the reference path: broadcast
+  XOR over packed words + popcount, chunked to stay within the shared
+  allocation budget.  Memory-bandwidth bound; unbeatable when one side
+  of the product is tiny (a single query, a handful of class vectors).
+* ``"gemm"`` — the classic HDC identity
+  ``popcount(a XOR b) = |a| + |b| − 2·(a · b)`` turns all-pairs distance
+  into one BLAS matrix product over the unpacked operands.  Cache-blocked
+  and SIMD-vectorised by BLAS, it is many times faster than the XOR scan
+  once both batches are non-trivial.  The product runs in ``float32``
+  for ``d ≤ 2²⁴`` (where every intermediate is an exactly representable
+  integer, so the result is **exact**, not approximate) and ``float64``
+  beyond; the unpacked operand blocks never exceed the allocation budget
+  (:func:`repro.hdc.packed.cell_budget`, ``REPRO_KERNEL_BUDGET``).
+* ``"auto"`` — per-call dispatch on the measured crossover between the
+  two.  The cost model: the XOR scan is ``O(n·m·d)`` byte traffic, while
+  GEMM pays an ``O((n+m)·d)`` unpack toll plus ``O(n·m·d)`` FLOPs at a
+  far higher throughput.  Equating the two, the ``d`` terms cancel and
+  the crossover collapses to the harmonic size ``n·m / (n+m)`` — GEMM
+  wins once *both* batches are big enough, regardless of ``d``.  The
+  threshold (:data:`AUTO_CROSSOVER`) was measured with
+  ``benchmarks/bench_kernels_similarity.py``, which records the full
+  ``(n, m, d)`` crossover surface in ``BENCH_kernels.json``.
+
+Backend selection: an explicit ``backend=`` argument wins, then the
+``REPRO_KERNEL`` environment variable, then ``"auto"``.  Every consumer
+(ops layer, :class:`~repro.hdc.memory.ItemMemory`, the classifier and
+regressor, the analysis figures, the serving engine) threads the
+argument through, so any path is forceable for tests and benchmarks.
+
+:func:`topk_hamming` fuses retrieval with the distance computation: it
+scans the table in budget-bounded blocks, keeping only the running best
+``k`` per query, so the full ``(n, m)`` matrix is never materialised
+when ``k ≪ m``.  Ties break toward the lower table index — deterministic
+and identical to a stable full-matrix ``argsort``.
+
+All of this is property-tested for bitwise agreement across backends,
+odd dimensions (tail-mask edge) and budget settings in
+``tests/hdc/test_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import NamedTuple, Union
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, InvalidParameterError
+from .packed import (
+    DEFAULT_CELL_BUDGET,
+    PackedHV,
+    _chunked_xor_counts,
+    cell_budget,
+    coerce_packed,
+    popcount,
+)
+
+__all__ = [
+    "BACKENDS",
+    "AUTO_CROSSOVER",
+    "DEFAULT_CELL_BUDGET",
+    "TopK",
+    "cell_budget",
+    "resolve_backend",
+    "use_gemm",
+    "pairwise_hamming",
+    "pairwise_hamming_counts",
+    "topk_hamming",
+]
+
+#: The selectable backends (``"auto"`` dispatches between the other two).
+BACKENDS = ("auto", "gemm", "xor")
+
+#: Environment variable selecting the default backend.
+_ENV_BACKEND = "REPRO_KERNEL"
+
+#: Accepted spellings that normalise to a canonical backend name.
+_BACKEND_ALIASES = {"xor-popcount": "xor"}
+
+#: ``auto`` uses GEMM when ``n·m / (n + m)`` is at least this.  Measured
+#: crossover (see module docstring): below it the unpack toll dominates
+#: and the XOR scan wins; the value is dimension-independent because the
+#: ``d`` factors cancel in the cost model.  Calibrated with
+#: ``benchmarks/bench_kernels_similarity.py`` (break-even sits near
+#: ``n = m = 32``; harmonic size 16).
+AUTO_CROSSOVER = 16.0
+
+#: Largest ``d`` for which float32 dot products of {0,1} vectors are
+#: exact (every partial sum is an integer ≤ d < 2^24).
+_EXACT_FLOAT32_MAX_DIM = 1 << 24
+
+
+class TopK(NamedTuple):
+    """Result of :func:`topk_hamming`: ascending by ``(distance, index)``."""
+
+    #: Table-row indices of the ``k`` nearest entries, per query.
+    indices: np.ndarray
+    #: The matching normalized Hamming distances.
+    distances: np.ndarray
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Normalise a backend request to ``"auto"``, ``"gemm"`` or ``"xor"``.
+
+    ``None`` falls back to the ``REPRO_KERNEL`` environment variable and
+    then to ``"auto"``.  The alias ``"xor-popcount"`` is accepted for
+    ``"xor"``.  Unknown names raise
+    :class:`~repro.exceptions.InvalidParameterError`.
+
+    >>> resolve_backend("auto")
+    'auto'
+    >>> resolve_backend("xor-popcount")
+    'xor'
+    """
+    if backend is None:
+        backend = os.environ.get(_ENV_BACKEND) or "auto"
+    name = _BACKEND_ALIASES.get(backend, backend)
+    if name not in BACKENDS:
+        raise InvalidParameterError(
+            f"kernel backend must be one of {BACKENDS} (or 'xor-popcount'), "
+            f"got {backend!r}"
+        )
+    return name
+
+
+def use_gemm(n: int, m: int, dim: int) -> bool:
+    """The ``auto`` dispatch decision for an ``(n, d) × (m, d)`` product.
+
+    ``dim`` is part of the signature because the dispatch is defined over
+    the full problem size ``n·m·d``, but the measured crossover surface
+    is flat in ``d`` (the cost model's ``d`` factors cancel — see the
+    module docstring), so only the harmonic size ``n·m / (n+m)`` decides.
+
+    >>> use_gemm(1, 1000, 10_000)   # single query: unpack toll dominates
+    False
+    >>> use_gemm(100, 100, 10_000)  # both sides big: BLAS wins
+    True
+    """
+    del dim
+    if n <= 0 or m <= 0:
+        return False
+    return n * m >= AUTO_CROSSOVER * (n + m)
+
+
+def _as_rows(hv: Union[PackedHV, np.ndarray], context: str) -> PackedHV:
+    packed = coerce_packed(hv)
+    if packed.ndim != 2:
+        raise InvalidParameterError(
+            f"{context} expects a (n, d) batch, got shape {packed.shape}"
+        )
+    return packed
+
+
+def _unpack_block(data: np.ndarray, dim: int, dtype: type) -> np.ndarray:
+    return np.unpackbits(data, axis=-1, count=dim).astype(dtype)
+
+
+def _gemm_counts(
+    data_a: np.ndarray, data_b: np.ndarray, dim: int, normalize: bool = False
+) -> np.ndarray:
+    """Hamming counts via ``|a| + |b| − 2·a·b`` (one BLAS GEMM).
+
+    The unpacked ``float32``/``float64`` operands are produced in row
+    blocks of at most :func:`cell_budget` cells each, so peak transient
+    memory is bounded no matter how large the batches are.  Exactness:
+    with 0/1 operands every partial sum of a dot product is an integer
+    bounded by ``dim``, exactly representable in ``float32`` for
+    ``dim ≤ 2²⁴`` (``float64`` is used beyond), so truncating the
+    product back to ``int64`` loses nothing and the counts equal the
+    XOR-popcount counts bit for bit.  ``normalize=True`` divides each
+    block as it is written (one full ``(n, m)`` float matrix, never an
+    extra counts matrix).
+    """
+    n = data_a.shape[0]
+    m = data_b.shape[0]
+    dtype = np.float32 if dim <= _EXACT_FLOAT32_MAX_DIM else np.float64
+    pop_a = popcount(data_a, axis=-1)
+    pop_b = pop_a if data_b is data_a else popcount(data_b, axis=-1)
+    out = np.empty((n, m), dtype=np.float64 if normalize else np.int64)
+    budget = cell_budget()
+    block = max(1, budget // max(1, dim))
+
+    def fill(a_lo: int, a_hi: int, fa: np.ndarray, b_lo: int, b_hi: int, fb: np.ndarray) -> None:
+        prod = fa @ fb.T
+        counts = (
+            pop_a[a_lo:a_hi, None] + pop_b[None, b_lo:b_hi] - 2 * prod.astype(np.int64)
+        )
+        out[a_lo:a_hi, b_lo:b_hi] = counts / dim if normalize else counts
+
+    if data_b is data_a and n <= block:
+        fa = _unpack_block(data_a, dim, dtype)
+        fill(0, n, fa, 0, m, fa)
+    elif m <= block:
+        fb = _unpack_block(data_b, dim, dtype)
+        for a_lo in range(0, n, block):
+            a_hi = min(n, a_lo + block)
+            fill(a_lo, a_hi, _unpack_block(data_a[a_lo:a_hi], dim, dtype), 0, m, fb)
+    elif n <= block:
+        fa = _unpack_block(data_a, dim, dtype)
+        for b_lo in range(0, m, block):
+            b_hi = min(m, b_lo + block)
+            fill(0, n, fa, b_lo, b_hi, _unpack_block(data_b[b_lo:b_hi], dim, dtype))
+    else:
+        for a_lo in range(0, n, block):
+            a_hi = min(n, a_lo + block)
+            fa = _unpack_block(data_a[a_lo:a_hi], dim, dtype)
+            for b_lo in range(0, m, block):
+                b_hi = min(m, b_lo + block)
+                fill(a_lo, a_hi, fa, b_lo, b_hi, _unpack_block(data_b[b_lo:b_hi], dim, dtype))
+    return out
+
+
+def _counts(
+    pa: PackedHV, pb: PackedHV, backend: str, normalize: bool = False
+) -> np.ndarray:
+    """Dispatch counts (or, ``normalize``-d, distances) through a backend.
+
+    The ``"xor"`` reference loop is owned by the packed layer
+    (:func:`repro.hdc.packed._chunked_xor_counts` — the same code behind
+    :func:`~repro.hdc.packed.packed_pairwise_hamming`).  Both backends
+    fill one output matrix chunk-/block-wise; normalization happens per
+    chunk so the distance form never materialises a counts matrix too.
+    """
+    if backend == "auto":
+        backend = "gemm" if use_gemm(pa.data.shape[0], pb.data.shape[0], pa.dim) else "xor"
+    if backend == "gemm":
+        return _gemm_counts(pa.data, pb.data, pa.dim, normalize=normalize)
+    return _chunked_xor_counts(pa.data, pb.data, dim=pa.dim if normalize else None)
+
+
+def _as_pair(
+    vectors: Union[PackedHV, np.ndarray],
+    others: Union[PackedHV, np.ndarray, None],
+) -> tuple[PackedHV, PackedHV]:
+    """Coerce the all-pairs operands, defaulting ``others`` to ``vectors``."""
+    pa = _as_rows(vectors, "pairwise_hamming")
+    if others is None:
+        return pa, pa
+    pb = _as_rows(others, "pairwise_hamming")
+    if pa.dim != pb.dim:
+        raise DimensionMismatchError(pa.dim, pb.dim, "pairwise_hamming")
+    return pa, pb
+
+
+def pairwise_hamming_counts(
+    vectors: Union[PackedHV, np.ndarray],
+    others: Union[PackedHV, np.ndarray, None] = None,
+    backend: str | None = None,
+) -> np.ndarray:
+    """All-pairs **raw** Hamming counts (``int64``), backend-dispatched.
+
+    The integer form of :func:`pairwise_hamming`; exposed for callers
+    that merge or rank counts themselves (top-k sharding does).
+
+    >>> import numpy as np
+    >>> a = np.array([[0, 1, 1], [1, 1, 1]], dtype=np.uint8)
+    >>> pairwise_hamming_counts(a).tolist()
+    [[0, 1], [1, 0]]
+    """
+    pa, pb = _as_pair(vectors, others)
+    return _counts(pa, pb, resolve_backend(backend))
+
+
+def pairwise_hamming(
+    vectors: Union[PackedHV, np.ndarray],
+    others: Union[PackedHV, np.ndarray, None] = None,
+    backend: str | None = None,
+) -> np.ndarray:
+    """All-pairs normalized Hamming distance, backend-dispatched.
+
+    Compares an ``(n, d)`` batch against an ``(m, d)`` batch (default:
+    itself) and returns the ``(n, m)`` float matrix.  Accepts packed or
+    unpacked rows.  ``backend`` is ``"auto"`` (default), ``"gemm"`` or
+    ``"xor"``; all three return bit-identical matrices — the knob trades
+    time for nothing else.
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> batch = rng.integers(0, 2, (40, 100), dtype=np.uint8)
+    >>> bool(np.array_equal(pairwise_hamming(batch, backend="gemm"),
+    ...                     pairwise_hamming(batch, backend="xor")))
+    True
+    """
+    pa, pb = _as_pair(vectors, others)
+    return _counts(pa, pb, resolve_backend(backend), normalize=True)
+
+
+def topk_hamming(
+    queries: Union[PackedHV, np.ndarray],
+    table: Union[PackedHV, np.ndarray],
+    k: int,
+    backend: str | None = None,
+) -> TopK:
+    """The ``k`` nearest table rows per query, without the full matrix.
+
+    The table is scanned in blocks sized by the allocation budget; each
+    block's distances (computed by the selected backend) are merged into
+    a running best-``k`` per query, so at most
+    ``n × (block + k)`` candidate cells ever exist — for ``k ≪ m`` the
+    full ``(n, m)`` matrix is never materialised.
+
+    Results are sorted ascending by ``(distance, table index)``: ties
+    break toward the **lower index**, deterministically, matching a
+    stable full-matrix argsort and independent of the backend, the
+    budget, and any sharding of the table (property-tested).
+
+    ``queries`` may be a single hypervector ``(d,)`` (returns ``(k,)``
+    arrays) or a batch ``(n, d)`` (returns ``(n, k)`` arrays).
+
+    >>> import numpy as np
+    >>> table = np.array([[0, 0, 0, 0], [1, 1, 1, 1], [0, 0, 0, 1]], dtype=np.uint8)
+    >>> hit = topk_hamming(np.zeros(4, dtype=np.uint8), table, k=2)
+    >>> hit.indices.tolist(), hit.distances.tolist()
+    ([0, 2], [0.0, 0.25])
+    """
+    pq = coerce_packed(queries)
+    single = pq.ndim == 1
+    if single:
+        pq = PackedHV(pq.data[None, :], pq.dim)
+    if pq.ndim != 2:
+        raise InvalidParameterError(
+            f"topk_hamming expects a single hypervector or an (n, d) batch "
+            f"of queries, got shape {pq.shape}"
+        )
+    pt = _as_rows(table, "topk_hamming")
+    if pq.dim != pt.dim:
+        raise DimensionMismatchError(pq.dim, pt.dim, "topk_hamming")
+    m = pt.data.shape[0]
+    if not isinstance(k, (int, np.integer)) or isinstance(k, bool) or not 1 <= k <= m:
+        raise InvalidParameterError(
+            f"k must be an integer in [1, {m}] (the table size), got {k!r}"
+        )
+    n = pq.data.shape[0]
+    dim = pq.dim
+    if (dim + 1) * m >= 2**63:  # pragma: no cover - absurd sizes
+        raise InvalidParameterError(
+            f"top-k merge keys would overflow int64 for dim={dim}, m={m}"
+        )
+    backend = resolve_backend(backend)
+    block = int(min(m, max(k, cell_budget() // max(1, n))))
+    best: np.ndarray | None = None  # (n, ≤k) combined keys, each row sorted
+    for lo in range(0, m, block):
+        hi = min(m, lo + block)
+        counts = _counts(pq, pt[lo:hi], backend)
+        # Combined sort key: counts·m + index is ascending-lexicographic
+        # in (count, index), so one integer sort gives the deterministic
+        # lower-index tie-break.
+        keys = counts * np.int64(m) + np.arange(lo, hi, dtype=np.int64)[None, :]
+        cand = keys if best is None else np.concatenate([best, keys], axis=1)
+        keep = min(k, cand.shape[1])
+        if cand.shape[1] > keep:
+            part = np.argpartition(cand, keep - 1, axis=1)[:, :keep]
+            cand = np.take_along_axis(cand, part, axis=1)
+        best = np.sort(cand, axis=1)
+    assert best is not None  # m >= 1 guarantees one block ran
+    indices = best % m
+    distances = (best // m) / dim
+    if single:
+        return TopK(indices[0], distances[0])
+    return TopK(indices, distances)

@@ -10,11 +10,15 @@ similarity queries.  It is the retrieval half of every HDC pipeline:
   the most similar server hypervector.
 
 Storage is bit-packed (:mod:`repro.hdc.packed`): every row occupies
-``ceil(d / 8)`` bytes and queries run as XOR + popcount against the packed
-table.  The public API still speaks unpacked arrays — ``add``/``query``
-accept either representation and :meth:`ItemMemory.get` returns unpacked
-bits — so callers written against the byte-per-bit representation work
-unchanged while paying an eighth of the memory.
+``ceil(d / 8)`` bytes and queries run through the similarity-kernel
+subsystem (:mod:`repro.hdc.kernels`) against the packed table — GEMM for
+large scans, XOR + popcount for small ones, selectable per call via
+``backend=``.  True top-k retrieval (:meth:`ItemMemory.query_topk`)
+never materialises the full distance matrix.  The public API still
+speaks unpacked arrays — ``add``/``query`` accept either representation
+and :meth:`ItemMemory.get` returns unpacked bits — so callers written
+against the byte-per-bit representation work unchanged while paying an
+eighth of the memory.
 """
 
 from __future__ import annotations
@@ -24,7 +28,8 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
-from .packed import PackedHV, coerce_packed, is_packed, packed_pairwise_hamming, packed_width
+from .kernels import TopK, pairwise_hamming, topk_hamming
+from .packed import PackedHV, coerce_packed, is_packed, packed_width
 
 __all__ = ["ItemMemory"]
 
@@ -154,7 +159,7 @@ class ItemMemory:
         >>> for i in range(5):
         ...     mem.add(i, np.full(8, i % 2, dtype=np.uint8))
         >>> [m.keys() for m in mem.shards(2)]
-        [[0, 1, 2], [3, 4]]
+        [[0, 1], [2, 3, 4]]
         """
         if (
             not isinstance(num_shards, (int, np.integer))
@@ -200,20 +205,22 @@ class ItemMemory:
             )
         return packed, single
 
-    def distances(self, query: np.ndarray | PackedHV) -> np.ndarray:
+    def distances(self, query: np.ndarray | PackedHV, backend: str | None = None) -> np.ndarray:
         """Normalized Hamming distance from ``query`` to every stored item.
 
         ``query`` may be a single hypervector ``(d,)`` (returns ``(k,)``)
         or a batch ``(n, d)`` (returns ``(n, k)``), where ``k`` is the
         number of stored items, ordered as :meth:`keys`; packed queries
-        are compared without unpacking anything.
+        are compared without unpacking anything.  ``backend`` selects the
+        similarity kernel (:mod:`repro.hdc.kernels`); all backends are
+        bit-identical.
         """
         table = self._table()
         batch, single = self._coerce_query(query, "ItemMemory.distances")
-        dist = packed_pairwise_hamming(batch, table)
+        dist = pairwise_hamming(batch, table, backend=backend)
         return dist[0] if single else dist
 
-    def query(self, hv: np.ndarray | PackedHV) -> Hashable:
+    def query(self, hv: np.ndarray | PackedHV, backend: str | None = None) -> Hashable:
         """Return the key of the most similar stored hypervector.
 
         Takes exactly one hypervector; use :meth:`query_batch` for a
@@ -225,22 +232,74 @@ class ItemMemory:
                 f"ItemMemory.query takes a single hypervector, got shape "
                 f"{batch.shape}; use query_batch for batches"
             )
-        return self.query_batch(batch)[0]
+        return self.query_batch(batch, backend=backend)[0]
 
-    def query_batch(self, hvs: np.ndarray | PackedHV) -> list[Hashable]:
+    def query_batch(
+        self, hvs: np.ndarray | PackedHV, backend: str | None = None
+    ) -> list[Hashable]:
         """Vectorised :meth:`query` over a batch ``(n, d)``.
 
         Ties are resolved toward the earliest-inserted item, matching
         ``numpy.argmin`` semantics; deterministic and documented so that
         experiments are reproducible.
         """
-        dist = self.distances(hvs)
+        dist = self.distances(hvs, backend=backend)
         if dist.ndim == 1:
             dist = dist[None, :]
         winners = np.argmin(dist, axis=-1)
         return [self._keys[i] for i in winners]
 
-    def cleanup(self, hv: np.ndarray | PackedHV) -> np.ndarray:
+    def topk(
+        self, hvs: np.ndarray | PackedHV, k: int, backend: str | None = None
+    ) -> TopK:
+        """Raw top-``k`` retrieval: row indices + distances, fused kernel.
+
+        The low-level form of :meth:`query_topk` — returns a
+        :class:`~repro.hdc.kernels.TopK` of ``(indices, distances)``
+        ordered ascending by ``(distance, insertion index)``, computed by
+        :func:`~repro.hdc.kernels.topk_hamming` without materialising
+        the full distance matrix when ``k`` is much smaller than the
+        table.  Single queries yield ``(k,)`` arrays, batches ``(n, k)``.
+        """
+        table = self._table()
+        batch, single = self._coerce_query(hvs, "ItemMemory.topk")
+        result = topk_hamming(batch, table, k, backend=backend)
+        if single:
+            return TopK(result.indices[0], result.distances[0])
+        return result
+
+    def query_topk(
+        self, hvs: np.ndarray | PackedHV, k: int, backend: str | None = None
+    ) -> list:
+        """The ``k`` most similar stored items with their distances.
+
+        For a single query ``(d,)`` returns a list of ``(key, distance)``
+        pairs, nearest first; for a batch ``(n, d)`` returns one such
+        list per query row.  Ties break toward the earliest-inserted
+        item — the same deterministic rule as :meth:`query_batch`, which
+        equals ``query_topk(..., k=1)``.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> mem = ItemMemory(dim=8)
+        >>> for i in range(4):
+        ...     hv = np.zeros(8, dtype=np.uint8); hv[:i] = 1
+        ...     mem.add(i, hv)
+        >>> mem.query_topk(np.zeros(8, dtype=np.uint8), k=2)
+        [(0, 0.0), (1, 0.125)]
+        """
+        result = self.topk(hvs, k, backend=backend)
+        single = result.indices.ndim == 1
+        out = [
+            [(self._keys[int(i)], float(d)) for i, d in zip(row_i, row_d)]
+            for row_i, row_d in zip(
+                np.atleast_2d(result.indices), np.atleast_2d(result.distances)
+            )
+        ]
+        return out[0] if single else out
+
+    def cleanup(self, hv: np.ndarray | PackedHV, backend: str | None = None) -> np.ndarray:
         """Snap a noisy hypervector to the nearest stored one.
 
         This is the "cleanup memory" role used by the regression decode
@@ -248,5 +307,5 @@ class ItemMemory:
         label hypervector plus noise; cleanup recovers the exact ``L_l``.
         Returns unpacked bits regardless of the query representation.
         """
-        key = self.query(hv)
+        key = self.query(hv, backend=backend)
         return self.get(key)

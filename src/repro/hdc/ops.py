@@ -37,6 +37,7 @@ import numpy as np
 
 from .._rng import SeedLike, ensure_rng
 from ..exceptions import DimensionMismatchError, InvalidParameterError
+from . import kernels as _kernels
 from . import packed as _packed
 from .hypervector import BIT_DTYPE, as_hypervector
 
@@ -270,20 +271,31 @@ def similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return 1.0 - hamming_distance(a, b)
 
 
-def pairwise_hamming(vectors: np.ndarray, others: np.ndarray | None = None) -> np.ndarray:
+def pairwise_hamming(
+    vectors: np.ndarray,
+    others: np.ndarray | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
     """All-pairs normalized Hamming distance.
 
     ``vectors`` has shape ``(n, d)``; ``others`` defaults to ``vectors``
     and has shape ``(m, d)``.  Returns an ``(n, m)`` matrix.  This is the
     computation behind the Figure 3 heatmaps and behind every
-    nearest-neighbour query in the item memory.  It always runs on the
-    shared packed kernel (:func:`repro.hdc.packed.packed_pairwise_hamming`
-    — XOR + popcount in chunks): unpacked operands are packed once per
+    nearest-neighbour query in the item memory.  It runs on the
+    similarity-kernel subsystem (:mod:`repro.hdc.kernels`): ``backend``
+    picks ``"auto"`` (size-aware dispatch, the default), ``"gemm"``
+    (BLAS matrix product) or ``"xor"`` (chunked XOR + popcount);
+    ``None`` defers to the ``REPRO_KERNEL`` environment variable.  All
+    backends are bit-identical — unpacked operands are packed once per
     call, :class:`~repro.hdc.packed.PackedHV` operands skip even that.
     """
-    return _packed.packed_pairwise_hamming(vectors, others)
+    return _kernels.pairwise_hamming(vectors, others, backend=backend)
 
 
-def pairwise_similarity(vectors: np.ndarray, others: np.ndarray | None = None) -> np.ndarray:
+def pairwise_similarity(
+    vectors: np.ndarray,
+    others: np.ndarray | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
     """All-pairs similarity ``1 − δ``; see :func:`pairwise_hamming`."""
-    return 1.0 - pairwise_hamming(vectors, others)
+    return 1.0 - pairwise_hamming(vectors, others, backend=backend)

@@ -31,6 +31,7 @@ unpacked bit arrays.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence, Union
 
 import numpy as np
@@ -46,6 +47,8 @@ from .hypervector import BIT_DTYPE, as_hypervector
 
 __all__ = [
     "BYTE_BITS",
+    "DEFAULT_CELL_BUDGET",
+    "cell_budget",
     "PackedHV",
     "BundleAccumulator",
     "is_packed",
@@ -62,6 +65,44 @@ __all__ = [
 
 #: Bits stored per byte of packed storage.
 BYTE_BITS = 8
+
+#: Allocation budget, in array cells, for the transient intermediates of
+#: the similarity kernels: the ``(chunk, m, width)`` XOR cube here and
+#: the unpacked float operand blocks of the GEMM backend in
+#: :mod:`repro.hdc.kernels`.  Shared so that every distance path answers
+#: to one memory knob.
+DEFAULT_CELL_BUDGET = 64_000_000
+
+#: Environment variable overriding :data:`DEFAULT_CELL_BUDGET`
+#: (for low-memory CI runners, or to force the blocked code paths).
+_ENV_BUDGET = "REPRO_KERNEL_BUDGET"
+
+
+def cell_budget() -> int:
+    """The current kernel allocation budget, in cells.
+
+    Reads ``REPRO_KERNEL_BUDGET`` on every call (so tests and constrained
+    runners can adjust it without re-importing), falling back to
+    :data:`DEFAULT_CELL_BUDGET`.  The value bounds transient allocations
+    only — results are bit-identical for any budget.
+
+    >>> cell_budget() >= 1
+    True
+    """
+    raw = os.environ.get(_ENV_BUDGET)
+    if raw is None:
+        return DEFAULT_CELL_BUDGET
+    try:
+        value = int(raw)
+    except ValueError:
+        raise InvalidParameterError(
+            f"{_ENV_BUDGET} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise InvalidParameterError(
+            f"{_ENV_BUDGET} must be a positive integer, got {raw!r}"
+        )
+    return value
 
 #: Whether the running numpy exposes the hardware popcount ufunc.
 #: Module-level so tests can force the lookup-table fallback.
@@ -383,18 +424,42 @@ def packed_hamming(
     return popcount(xor, axis=-1) / pa.dim
 
 
+def _chunked_xor_counts(
+    data_a: np.ndarray, data_b: np.ndarray, dim: int | None = None
+) -> np.ndarray:
+    """All-pairs Hamming counts on packed rows, chunked XOR + popcount.
+
+    The reference loop shared by :func:`packed_pairwise_hamming` and the
+    ``"xor"`` backend of :mod:`repro.hdc.kernels`: the
+    ``(chunk, m, width)`` XOR intermediate is chunked to stay within
+    :func:`cell_budget`.  Returns raw ``int64`` counts, or — when
+    ``dim`` is given — ``float64`` normalized distances filled
+    chunk-wise, so only one full ``(n, m)`` matrix ever exists.
+    """
+    n, width = data_a.shape
+    m = data_b.shape[0]
+    out = np.empty((n, m), dtype=np.int64 if dim is None else np.float64)
+    chunk = max(1, min(max(n, 1), cell_budget() // max(1, m * width)))
+    for start in range(0, n, chunk):
+        stop = min(n, start + chunk)
+        xor = np.bitwise_xor(data_a[start:stop, None, :], data_b[None, :, :])
+        counts = popcount(xor, axis=-1)
+        out[start:stop] = counts if dim is None else counts / dim
+    return out
+
+
 def packed_pairwise_hamming(
     vectors: Union[PackedHV, np.ndarray],
     others: Union[PackedHV, np.ndarray, None] = None,
 ) -> np.ndarray:
     """All-pairs normalized Hamming distance on packed rows.
 
-    The shared kernel behind :func:`repro.hdc.ops.pairwise_hamming`,
-    :meth:`repro.hdc.memory.ItemMemory.distances`, the classifier's
-    decision distances and the Figure 3 similarity matrices.  Compares an
-    ``(n, d)`` batch against an ``(m, d)`` batch (default: itself) and
-    returns an ``(n, m)`` float matrix.  The ``(chunk, m, width)`` XOR
-    intermediate is chunked to stay within a fixed allocation budget.
+    The XOR + popcount reference kernel: what
+    :func:`repro.hdc.ops.pairwise_hamming` and every distance consumer
+    run when the ``"xor"`` backend is selected (the GEMM and dispatching
+    backends live in :mod:`repro.hdc.kernels`).  Compares an ``(n, d)``
+    batch against an ``(m, d)`` batch (default: itself) and returns an
+    ``(n, m)`` float matrix.
     """
     pa = _as_packed_rows(vectors, "pairwise_hamming")
     if others is None:
@@ -403,18 +468,7 @@ def packed_pairwise_hamming(
         pb = _as_packed_rows(others, "pairwise_hamming")
         if pa.dim != pb.dim:
             raise DimensionMismatchError(pa.dim, pb.dim, "pairwise_hamming")
-
-    data_a, data_b = pa.data, pb.data
-    n, width = data_a.shape
-    m = data_b.shape[0]
-    out = np.empty((n, m), dtype=np.float64)
-    max_cells = 64_000_000
-    chunk = max(1, min(n, max_cells // max(1, m * width)))
-    for start in range(0, n, chunk):
-        stop = min(n, start + chunk)
-        xor = np.bitwise_xor(data_a[start:stop, None, :], data_b[None, :, :])
-        out[start:stop] = popcount(xor, axis=-1) / pa.dim
-    return out
+    return _chunked_xor_counts(pa.data, pb.data, dim=pa.dim)
 
 
 class BundleAccumulator:

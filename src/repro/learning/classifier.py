@@ -30,12 +30,12 @@ import numpy as np
 from .._rng import SeedLike, ensure_rng
 from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
 from ..hdc.hypervector import as_hypervector
+from ..hdc.kernels import pairwise_hamming
 from ..hdc.ops import TieBreak, majority_from_counts
 from ..hdc.packed import (
     BundleAccumulator,
     PackedHV,
     is_packed,
-    packed_pairwise_hamming,
 )
 from .metrics import accuracy
 
@@ -374,26 +374,36 @@ class CentroidClassifier:
         self._materialise()
         return self
 
-    def decision_distances(self, encoded: EncodedBatch) -> tuple[np.ndarray, list[Hashable]]:
+    def decision_distances(
+        self, encoded: EncodedBatch, backend: str | None = None
+    ) -> tuple[np.ndarray, list[Hashable]]:
         """Distance of each sample to every class-vector.
 
         Returns ``(distances, class_order)`` with ``distances`` of shape
-        ``(n, k)``, computed by popcount against the packed prototype
-        table.
+        ``(n, k)``, computed against the packed prototype table through
+        the similarity-kernel subsystem (:mod:`repro.hdc.kernels`).
+        ``backend`` forces ``"gemm"``/``"xor"``; the default ``"auto"``
+        dispatches on the batch size, and every choice is bit-identical.
         """
         self._materialise()
         assert self._packed_table is not None
         batch = self._check_batch(encoded)
-        return packed_pairwise_hamming(batch, self._packed_table), list(self._class_order)
+        distances = pairwise_hamming(batch, self._packed_table, backend=backend)
+        return distances, list(self._class_order)
 
-    def predict(self, encoded: EncodedBatch) -> list[Hashable]:
+    def predict(self, encoded: EncodedBatch, backend: str | None = None) -> list[Hashable]:
         """Nearest class-vector labels for a batch of encoded samples."""
-        distances, order = self.decision_distances(encoded)
+        distances, order = self.decision_distances(encoded, backend=backend)
         winners = np.argmin(distances, axis=-1)
         return [order[i] for i in winners]
 
-    def score(self, encoded: EncodedBatch, labels: Sequence[Hashable]) -> float:
+    def score(
+        self,
+        encoded: EncodedBatch,
+        labels: Sequence[Hashable],
+        backend: str | None = None,
+    ) -> float:
         """Accuracy of :meth:`predict` against the provided labels."""
-        predictions = self.predict(encoded)
+        predictions = self.predict(encoded, backend=backend)
         return accuracy(np.asarray(list(labels), dtype=object),
                         np.asarray(predictions, dtype=object))

@@ -46,13 +46,13 @@ from .._rng import SeedLike, ensure_rng
 from ..basis.base import Embedding
 from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
 from ..hdc.hypervector import BIT_DTYPE, as_hypervector
+from ..hdc.kernels import pairwise_hamming
 from ..hdc.ops import TieBreak
 from ..hdc.packed import (
     BundleAccumulator,
     PackedHV,
     is_packed,
     packed_bind,
-    packed_pairwise_hamming,
 )
 from .metrics import mean_squared_error
 
@@ -292,21 +292,22 @@ class HDRegressor:
             self._packed_model = PackedHV.pack(self.model)
         return self._packed_model
 
-    def _label_scores(self, batch: EncodedBatch) -> np.ndarray:
+    def _label_scores(self, batch: EncodedBatch, backend: str | None = None) -> np.ndarray:
         """Alignment of each query with each label grid point, in ``[−1, 1]``.
 
         For the binary model this is ``1 − 2δ(M ⊗ φ(x̂), L_k)``, computed
-        as packed XOR + popcount against the packed label table; for the
+        against the packed label table through the similarity-kernel
+        subsystem (``backend`` selects GEMM/XOR; bit-identical); for the
         integer model it is the normalised inner product between the
         signed accumulator (sign-flipped by the query bits) and the
         bipolar label vectors — the same quantity without the majority
-        quantisation in between.
+        quantisation in between (that path is already a matrix product).
         """
         if self.model_mode == "binary":
             queries = batch if is_packed(batch) else PackedHV.pack(batch)
             unbound = packed_bind(queries, self.packed_model)
-            distances = packed_pairwise_hamming(
-                unbound, self.label_embedding.basis.packed
+            distances = pairwise_hamming(
+                unbound, self.label_embedding.basis.packed, backend=backend
             )
             return 1.0 - 2.0 * distances
         bits = batch.unpack() if is_packed(batch) else batch
@@ -324,13 +325,18 @@ class HDRegressor:
         )
         return scores / (self._dim * max(total, 1))
 
-    def predict(self, encoded: EncodedBatch) -> np.ndarray:
-        """Decode predicted labels for a batch of encoded samples."""
+    def predict(self, encoded: EncodedBatch, backend: str | None = None) -> np.ndarray:
+        """Decode predicted labels for a batch of encoded samples.
+
+        ``backend`` selects the similarity kernel used by the cleanup
+        scan (:mod:`repro.hdc.kernels`); predictions are bit-identical
+        for every choice.
+        """
         batch = self._check_batch(encoded)
         if self._bundle.total == 0:
             raise EmptyModelError("regressor has no training data")
         grid = self.label_embedding.discretizer.points
-        scores = self._label_scores(batch)
+        scores = self._label_scores(batch, backend=backend)
         if self.decode_mode == "argmin":
             return grid[np.argmax(scores, axis=-1)]
         # Weighted decode: weight each label grid point by its positive
@@ -346,6 +352,8 @@ class HDRegressor:
             out[good] = (weights[good] * grid[None, :]).sum(axis=-1) / totals[good]
         return out
 
-    def score(self, encoded: EncodedBatch, y: np.ndarray) -> float:
+    def score(self, encoded: EncodedBatch, y: np.ndarray, backend: str | None = None) -> float:
         """Mean squared error of :meth:`predict` against ``y``."""
-        return mean_squared_error(np.asarray(y, dtype=np.float64), self.predict(encoded))
+        return mean_squared_error(
+            np.asarray(y, dtype=np.float64), self.predict(encoded, backend=backend)
+        )

@@ -27,6 +27,7 @@ from .parallel import (
     fit_regressor_sharded,
     memory_distances_sharded,
     memory_query_sharded,
+    memory_query_topk_sharded,
     predict_classifier_sharded,
     predict_regressor_sharded,
     score_classifier_sharded,
@@ -46,4 +47,5 @@ __all__ = [
     "predict_regressor_sharded",
     "memory_distances_sharded",
     "memory_query_sharded",
+    "memory_query_topk_sharded",
 ]

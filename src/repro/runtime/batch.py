@@ -151,6 +151,45 @@ class BatchEncoder:
         dtype = np.int16 if self.num_channels <= 16_000 else np.int64
         return gathered.sum(axis=1, dtype=dtype)
 
+    def encode_one(
+        self,
+        features: np.ndarray,
+        seed: SeedLike = None,
+        packed: bool = False,
+    ) -> Union[np.ndarray, PackedHV]:
+        """Single-record fast path of :meth:`encode`.
+
+        Skips the batch machinery (chunk partitioning, worker-pool
+        dispatch, per-chunk bookkeeping) for the serving hot path where
+        records arrive one at a time.  Takes one ``(k,)`` feature record
+        and returns a ``(1, d)`` batch (packed when ``packed=True``) —
+        **bit-identical** to ``encode(features[None, :], ...)`` with the
+        same seed, including the RNG draws of the ``"random"`` tie
+        policy (asserted in ``tests/runtime/test_batch.py``).
+
+        >>> import numpy as np
+        >>> from repro.basis import LevelBasis
+        >>> from repro.hdc.hypervector import random_hypervectors
+        >>> emb = LevelBasis(4, 32, seed=0).linear_embedding(0.0, 1.0)
+        >>> enc = BatchEncoder(random_hypervectors(2, 32, seed=1), emb, tie_break="zeros")
+        >>> one = enc.encode_one(np.array([0.1, 0.9]))
+        >>> bool(np.array_equal(one, enc.encode(np.array([[0.1, 0.9]]))))
+        True
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape != (self.num_channels,):
+            raise InvalidParameterError(
+                f"expected one ({self.num_channels},) record, got shape {features.shape}"
+            )
+        idx = self.embedding.indices(features).reshape(1, self.num_channels)
+        counts = self.chunk_counts(idx)
+        encoded = majority_from_counts(
+            counts, self.num_channels, tie_break=self.tie_break, seed=ensure_rng(seed)
+        )
+        if packed:
+            return PackedHV(np.packbits(encoded, axis=-1), self.dim)
+        return encoded
+
     def encode(
         self,
         features: np.ndarray,

@@ -58,6 +58,7 @@ __all__ = [
     "predict_regressor_sharded",
     "memory_distances_sharded",
     "memory_query_sharded",
+    "memory_query_topk_sharded",
 ]
 
 #: Either hypervector representation accepted by the learning models.
@@ -128,6 +129,7 @@ def predict_classifier_sharded(
     encoded: EncodedBatch,
     pool: WorkerPool,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str | None = None,
 ) -> list[Hashable]:
     """Chunk-parallel :meth:`~repro.learning.classifier.CentroidClassifier.predict`.
 
@@ -135,6 +137,9 @@ def predict_classifier_sharded(
     (:meth:`~repro.learning.classifier.CentroidClassifier.prepare`), then
     query chunks run on the pool and their label lists are concatenated
     in chunk order — identical to one serial ``predict`` call.
+    ``backend`` forces the similarity kernel per chunk
+    (:mod:`repro.hdc.kernels`; the default ``"auto"`` dispatches on the
+    chunk size) — answers are bit-identical for every choice.
 
     >>> import numpy as np
     >>> x = np.eye(8, dtype=np.uint8)
@@ -145,7 +150,9 @@ def predict_classifier_sharded(
     """
     classifier.prepare()
     bounds = _chunk_bounds(_num_rows(encoded), chunk_size)
-    parts = pool.map(lambda b: classifier.predict(encoded[b[0]:b[1]]), bounds)
+    parts = pool.map(
+        lambda b: classifier.predict(encoded[b[0]:b[1]], backend=backend), bounds
+    )
     return [label for part in parts for label in part]
 
 
@@ -155,6 +162,7 @@ def score_classifier_sharded(
     labels: Sequence[Hashable],
     pool: WorkerPool,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str | None = None,
 ) -> float:
     """Accuracy of :func:`predict_classifier_sharded` against ``labels``.
 
@@ -170,7 +178,9 @@ def score_classifier_sharded(
     ...     score_classifier_sharded(clf, x, y, pool) == clf.score(x, y)
     True
     """
-    predictions = predict_classifier_sharded(classifier, encoded, pool, chunk_size)
+    predictions = predict_classifier_sharded(
+        classifier, encoded, pool, chunk_size, backend=backend
+    )
     return accuracy(np.asarray(list(labels), dtype=object),
                     np.asarray(predictions, dtype=object))
 
@@ -218,6 +228,7 @@ def predict_regressor_sharded(
     encoded: EncodedBatch,
     pool: WorkerPool,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Chunk-parallel :meth:`~repro.learning.regression.HDRegressor.predict`.
 
@@ -234,7 +245,9 @@ def predict_regressor_sharded(
     """
     model.prepare()
     bounds = _chunk_bounds(_num_rows(encoded), chunk_size)
-    parts = pool.map(lambda b: model.predict(encoded[b[0]:b[1]]), bounds)
+    parts = pool.map(
+        lambda b: model.predict(encoded[b[0]:b[1]], backend=backend), bounds
+    )
     return np.concatenate(parts, axis=0)
 
 
@@ -245,13 +258,15 @@ def memory_distances_sharded(
     queries: EncodedBatch,
     pool: WorkerPool,
     num_shards: int | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Row-sharded :meth:`~repro.hdc.memory.ItemMemory.distances`.
 
     Partitions the stored rows into ``num_shards`` (default: the pool's
     worker count) contiguous sub-memories, scans them in parallel, and
     concatenates the distance columns in insertion order — the result
-    equals ``memory.distances(queries)`` exactly.
+    equals ``memory.distances(queries)`` exactly, for any worker count
+    and any similarity-kernel ``backend``.
 
     >>> import numpy as np
     >>> mem = ItemMemory(dim=8)
@@ -267,8 +282,10 @@ def memory_distances_sharded(
     if not shards:
         # Preserve the serial error contract (EmptyModelError on an
         # empty memory) instead of np.hstack's bare ValueError.
-        return memory.distances(queries)
-    blocks = pool.map(lambda m: np.atleast_2d(m.distances(queries)), shards)
+        return memory.distances(queries, backend=backend)
+    blocks = pool.map(
+        lambda m: np.atleast_2d(m.distances(queries, backend=backend)), shards
+    )
     merged = np.hstack(blocks)
     single = (queries.ndim if is_packed(queries) else np.asarray(queries).ndim) == 1
     return merged[0] if single else merged
@@ -279,6 +296,7 @@ def memory_query_sharded(
     queries: EncodedBatch,
     pool: WorkerPool,
     num_shards: int | None = None,
+    backend: str | None = None,
 ) -> list[Hashable]:
     """Row-sharded :meth:`~repro.hdc.memory.ItemMemory.query_batch`.
 
@@ -293,7 +311,82 @@ def memory_query_sharded(
     ...     memory_query_sharded(mem, np.ones((1, 8), dtype=np.uint8), pool)
     [1]
     """
-    distances = np.atleast_2d(memory_distances_sharded(memory, queries, pool, num_shards))
+    distances = np.atleast_2d(
+        memory_distances_sharded(memory, queries, pool, num_shards, backend=backend)
+    )
     winners = np.argmin(distances, axis=-1)
     keys = memory.keys()
     return [keys[i] for i in winners]
+
+
+def memory_query_topk_sharded(
+    memory: ItemMemory,
+    queries: EncodedBatch,
+    k: int,
+    pool: WorkerPool,
+    num_shards: int | None = None,
+    backend: str | None = None,
+) -> list:
+    """Row-sharded :meth:`~repro.hdc.memory.ItemMemory.query_topk`.
+
+    Each shard retrieves its own top ``min(k, len(shard))`` candidates
+    (fused, no full distance matrix); the merge re-ranks the candidate
+    union by ``(distance, insertion index)``, which contains the global
+    top-``k`` by construction.  Distances are exact multiples of
+    ``1 / d``, so the float comparison in the merge is exact and the
+    result is **bit-identical** to the serial ``query_topk`` for any
+    shard count, worker count and backend.
+
+    >>> import numpy as np
+    >>> mem = ItemMemory(dim=8)
+    >>> for i in range(6):
+    ...     hv = np.zeros(8, dtype=np.uint8); hv[:i] = 1
+    ...     mem.add(i, hv)
+    >>> q = np.zeros(8, dtype=np.uint8)
+    >>> with WorkerPool(workers=3) as pool:
+    ...     memory_query_topk_sharded(mem, q, 2, pool) == mem.query_topk(q, 2)
+    True
+    """
+    if not isinstance(k, (int, np.integer)) or isinstance(k, bool) or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    shards = memory.shards(num_shards or pool.workers)
+    if len(shards) <= 1:
+        return memory.query_topk(queries, k, backend=backend)
+    if k > len(memory):
+        raise InvalidParameterError(
+            f"k must be an integer in [1, {len(memory)}] (the table size), got {k!r}"
+        )
+    offsets = np.cumsum([0] + [len(s) for s in shards[:-1]])
+    results = pool.map(
+        lambda shard: shard.topk(queries, min(k, len(shard)), backend=backend), shards
+    )
+    cand_idx = np.concatenate(
+        [np.atleast_2d(r.indices) + off for r, off in zip(results, offsets)], axis=1
+    )
+    cand_dist = np.concatenate(
+        [np.atleast_2d(r.distances) for r in results], axis=1
+    )
+    # Merge on the same combined integer key as the fused kernel:
+    # counts · m + index is ascending-lexicographic in (distance, index).
+    # (Distances are exact multiples of 1/dim, so the rint round-trip
+    # recovers the integer counts exactly.)
+    m = len(memory)
+    if (memory.dim + 1) * m >= 2**63:  # pragma: no cover - absurd sizes
+        # Same guard as topk_hamming: per-shard keys fit (shard m is
+        # smaller), but the merged key must not wrap either.
+        raise InvalidParameterError(
+            f"top-k merge keys would overflow int64 for dim={memory.dim}, m={m}"
+        )
+    counts = np.rint(cand_dist * memory.dim).astype(np.int64)
+    keys_combined = counts * np.int64(m) + cand_idx
+    order = np.argsort(keys_combined, axis=1)[:, :k]
+    best = np.take_along_axis(keys_combined, order, axis=1)
+    indices = best % m
+    distances = (best // m) / memory.dim
+    keys = memory.keys()
+    out = [
+        [(keys[int(i)], float(d)) for i, d in zip(row_i, row_d)]
+        for row_i, row_d in zip(indices, distances)
+    ]
+    single = (queries.ndim if is_packed(queries) else np.asarray(queries).ndim) == 1
+    return out[0] if single else out

@@ -25,6 +25,7 @@ from typing import Any, Hashable, Union
 import numpy as np
 
 from ..exceptions import EmptyModelError, InvalidParameterError
+from ..hdc.kernels import resolve_backend
 from ..hdc.packed import PackedHV
 from ..learning.classifier import CentroidClassifier
 from ..runtime.batch import BatchEncoder
@@ -45,6 +46,13 @@ class InferenceEngine:
     workers:
         Worker count for encode/predict sharding.  ``1`` (default) runs
         everything inline; any value produces bit-identical answers.
+    backend:
+        Similarity-kernel backend for the distance scans
+        (:mod:`repro.hdc.kernels`): ``"auto"`` (default via the
+        ``REPRO_KERNEL`` environment variable), ``"gemm"`` or ``"xor"``.
+        Under ``"auto"`` every micro-batch picks the kernel for its own
+        size — a single record scans with XOR + popcount, a large batch
+        rides one BLAS product — and every choice is bit-identical.
 
     The engine is a context manager (closes its worker pool on exit) but
     can also be used without ``with`` for serial serving.
@@ -64,8 +72,16 @@ class InferenceEngine:
     13.0
     """
 
-    def __init__(self, pipeline: TrainedPipeline, workers: int = 1) -> None:
+    def __init__(
+        self,
+        pipeline: TrainedPipeline,
+        workers: int = 1,
+        backend: str | None = None,
+    ) -> None:
         self.pipeline = pipeline
+        # Resolve eagerly so a typo'd backend (or REPRO_KERNEL value)
+        # fails at construction, not on the first mid-stream request.
+        self.backend = resolve_backend(backend)
         self._pool = WorkerPool(workers=workers)
         self._pool.__enter__()  # keep one executor alive across requests
         if pipeline.keys is not None:
@@ -82,7 +98,12 @@ class InferenceEngine:
             pass
 
     @classmethod
-    def from_path(cls, path: str | os.PathLike, workers: int = 1) -> "InferenceEngine":
+    def from_path(
+        cls,
+        path: str | os.PathLike,
+        workers: int = 1,
+        backend: str | None = None,
+    ) -> "InferenceEngine":
         """Load a saved pipeline (``save_model`` output) and wrap it.
 
         The one-time cost — reading the container, unpacking the basis
@@ -97,7 +118,7 @@ class InferenceEngine:
                 f"{path} holds a {type(pipeline).__name__}, not a TrainedPipeline; "
                 "wrap bare models in a pipeline to serve them"
             )
-        return cls(pipeline, workers=workers)
+        return cls(pipeline, workers=workers, backend=backend)
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -155,25 +176,45 @@ class InferenceEngine:
         Accepts a single record or a micro-batch; always returns the
         batch form (a list of labels, or a float array).  Bit-identical
         for any ``workers`` setting — sharded predictions merge in chunk
-        order.
+        order — and for any ``backend`` (under ``"auto"``, each
+        micro-batch picks the similarity kernel for its own size).
         """
         encoded = self.encode(features)
         model = self.pipeline.model
         if self._pool.serial:
-            return model.predict(encoded)
+            return model.predict(encoded, backend=self.backend)
         if isinstance(model, CentroidClassifier):
-            return predict_classifier_sharded(model, encoded, self._pool)
-        return predict_regressor_sharded(model, encoded, self._pool)
+            return predict_classifier_sharded(
+                model, encoded, self._pool, backend=self.backend
+            )
+        return predict_regressor_sharded(
+            model, encoded, self._pool, backend=self.backend
+        )
 
     def predict_one(self, record: Any) -> Any:
-        """Predict for exactly one record; returns a scalar label/value."""
+        """Predict for exactly one record; returns a scalar label/value.
+
+        The single-record fast path: encodes through
+        :meth:`~repro.runtime.batch.BatchEncoder.encode_one` (no chunk
+        partitioning, no pool dispatch) and predicts inline — under
+        ``"auto"`` a one-row scan always lands on the XOR kernel.  The
+        answer is bit-identical to ``predict([record])[0]`` (asserted in
+        ``tests/serve/test_engine.py``); the per-call latency drop is
+        measured by ``benchmarks/bench_serve_latency.py``.
+        """
         arr = np.asarray(record, dtype=np.float64)
-        if arr.ndim != 1:
+        if arr.ndim != 1 or arr.shape[0] != self.num_features:
             raise InvalidParameterError(
                 f"predict_one takes a single ({self.num_features},) record, "
                 f"got shape {arr.shape}"
             )
-        return self.predict(arr)[0]
+        if self._encoder is not None:
+            encoded = self._encoder.encode_one(
+                arr, seed=self.pipeline.encode_seed, packed=True
+            )
+        else:
+            encoded = self.pipeline.embedding.encode_packed(arr[:1])
+        return self.pipeline.model.predict(encoded, backend=self.backend)[0]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -95,3 +95,34 @@ class TestEquivalence:
     def test_empty_batch(self, encoder):
         out = encoder.encode(np.empty((0, CHANNELS)), seed=0)
         assert out.shape == (0, DIM)
+
+
+class TestEncodeOne:
+    def test_bit_identical_to_batch_path(self, encoder, features):
+        for row in features[:5]:
+            one = encoder.encode_one(row, seed=21)
+            batch = encoder.encode(row[None, :], seed=21)
+            assert np.array_equal(one, batch)
+
+    def test_random_tie_policy_consumes_rng_identically(self, features):
+        # An even channel count with the "random" policy draws tie bits;
+        # the fast path must consume the stream exactly like the batch
+        # path for the answers to match.
+        basis = LevelBasis(LEVELS, DIM, seed=0)
+        keys = random_hypervectors(CHANNELS, DIM, seed=1)
+        enc = BatchEncoder(keys, basis.linear_embedding(0.0, 1.0), tie_break="random")
+        for row in features[:5]:
+            one = enc.encode_one(row, seed=33)
+            batch = enc.encode(row[None, :], seed=33)
+            assert np.array_equal(one, batch)
+
+    def test_packed_output(self, encoder, features):
+        one = encoder.encode_one(features[0], seed=2, packed=True)
+        assert is_packed(one)
+        assert np.array_equal(one.unpack(), encoder.encode_one(features[0], seed=2))
+
+    def test_bad_shapes_rejected(self, encoder):
+        with pytest.raises(InvalidParameterError):
+            encoder.encode_one(np.zeros((2, CHANNELS)))
+        with pytest.raises(InvalidParameterError):
+            encoder.encode_one(np.zeros(CHANNELS + 1))

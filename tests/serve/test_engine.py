@@ -117,6 +117,71 @@ class TestRegressionServing:
             assert np.array_equal(sharded.predict(anomalies), expected)
 
 
+class TestKernelBackends:
+    """The backend knob and the predict_one fast path are invisible in
+    the answers: every backend, worker count and entry point must agree
+    bit for bit."""
+
+    def test_classifier_backends_bit_identical(
+        self, classification_pipeline, gesture_records
+    ):
+        with InferenceEngine(classification_pipeline) as engine:
+            expected = engine.predict(gesture_records)
+        for backend in ("auto", "gemm", "xor"):
+            with InferenceEngine(classification_pipeline, backend=backend) as engine:
+                assert engine.predict(gesture_records) == expected
+
+    def test_regression_backends_bit_identical(self, regression_pipeline):
+        anomalies = np.linspace(0.0, 2 * np.pi, 40)[:, None]
+        with InferenceEngine(regression_pipeline) as engine:
+            expected = engine.predict(anomalies)
+        for backend in ("gemm", "xor"):
+            for workers in (1, 3):
+                with InferenceEngine(
+                    regression_pipeline, workers=workers, backend=backend
+                ) as engine:
+                    assert np.array_equal(engine.predict(anomalies), expected)
+
+    def test_env_knob_forces_backend(
+        self, classification_pipeline, gesture_records, monkeypatch
+    ):
+        with InferenceEngine(classification_pipeline) as engine:
+            expected = engine.predict(gesture_records)
+        monkeypatch.setenv("REPRO_KERNEL", "gemm")
+        with InferenceEngine(classification_pipeline) as engine:
+            assert engine.predict(gesture_records) == expected
+
+    def test_fast_path_matches_batch_per_backend(
+        self, classification_pipeline, gesture_records
+    ):
+        for backend in ("auto", "gemm", "xor"):
+            with InferenceEngine(classification_pipeline, backend=backend) as engine:
+                batch = engine.predict(gesture_records[:10])
+                singles = [engine.predict_one(row) for row in gesture_records[:10]]
+                assert singles == batch
+
+    def test_fast_path_matches_batch_keyless(self, regression_pipeline):
+        with InferenceEngine(regression_pipeline) as engine:
+            values = np.linspace(0.0, 2 * np.pi, 15)
+            batch = engine.predict(values[:, None])
+            singles = np.array([engine.predict_one([v]) for v in values])
+            assert np.array_equal(singles, batch)
+
+    def test_bad_backend_fails_at_construction(self, classification_pipeline, monkeypatch):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            InferenceEngine(classification_pipeline, backend="simd")
+        monkeypatch.setenv("REPRO_KERNEL", "typo")
+        with pytest.raises(InvalidParameterError, match="backend"):
+            InferenceEngine(classification_pipeline)
+
+    def test_fast_path_rejects_bad_shapes(self, classification_pipeline):
+        with InferenceEngine(classification_pipeline) as engine:
+            with pytest.raises(InvalidParameterError, match="record"):
+                engine.predict_one(np.zeros((2, engine.num_features)))
+            with pytest.raises(InvalidParameterError, match="record"):
+                engine.predict_one(np.zeros(engine.num_features + 1))
+
+
 class TestEngineGuards:
     def test_non_pipeline_artifact_rejected(self, tmp_path):
         path = tmp_path / "basis.npz"

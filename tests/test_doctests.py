@@ -1,9 +1,9 @@
-"""Run the documented examples of the runtime/experiments/learning/serve APIs.
+"""Run the documented examples of the hdc/runtime/experiments/learning/serve APIs.
 
-Mirrors the CI step ``pytest --doctest-modules src/repro/runtime
-src/repro/experiments src/repro/learning src/repro/serve`` inside the
-tier-1 suite, so a docstring example can never rot unnoticed even in a
-plain ``pytest`` run.
+Mirrors the CI step ``pytest --doctest-modules src/repro/hdc
+src/repro/runtime src/repro/experiments src/repro/learning
+src/repro/serve`` inside the tier-1 suite, so a docstring example can
+never rot unnoticed even in a plain ``pytest`` run.
 """
 
 from __future__ import annotations
@@ -15,11 +15,12 @@ import pkgutil
 import pytest
 
 import repro.experiments
+import repro.hdc
 import repro.learning
 import repro.runtime
 import repro.serve
 
-PACKAGES = (repro.runtime, repro.experiments, repro.learning, repro.serve)
+PACKAGES = (repro.hdc, repro.runtime, repro.experiments, repro.learning, repro.serve)
 
 
 def _iter_modules():

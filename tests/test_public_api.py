@@ -16,7 +16,7 @@ import repro
 
 class TestExports:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
