@@ -31,6 +31,8 @@ Package map
   circular-hypervectors originate from,
 * :mod:`repro.runtime` — parallel experiment runtime: batched encoding,
   sharded execution, artifact caching,
+* :mod:`repro.streaming` — out-of-core chunked reducer: chunk sources,
+  chunking-invariant encoding, streamed training with checkpoints,
 * :mod:`repro.experiments` — one driver per table/figure,
 * :mod:`repro.analysis` — similarity matrices, figure data, reporting.
 """

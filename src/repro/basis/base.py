@@ -28,10 +28,11 @@ import abc
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..hdc.coerce import as_packed_batch
 from ..hdc.hypervector import as_hypervector
 from ..hdc.kernels import pairwise_hamming
 from ..hdc.ops import hamming_distance
-from ..hdc.packed import PackedHV, coerce_packed
+from ..hdc.packed import PackedHV
 from .quantize import Discretizer
 
 __all__ = ["BasisSet", "Embedding"]
@@ -209,9 +210,7 @@ class Embedding:
         regression framework.  Accepts packed or unpacked queries;
         ``backend`` forces a kernel (bit-identical).
         """
-        packed = coerce_packed(hv, self.dim)
-        single = packed.ndim == 1
-        batch = PackedHV(packed.data[None, :], self.dim) if single else packed
+        batch, single = as_packed_batch(hv, self.dim, "Embedding.decode")
         dist = pairwise_hamming(batch, self.basis.packed, backend=backend)
         idx = np.argmin(dist, axis=-1)
         values = self.discretizer.value(idx)

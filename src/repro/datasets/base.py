@@ -11,6 +11,7 @@ experiment's provenance is always attached to its data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any
 
 import numpy as np
@@ -52,12 +53,21 @@ class ClassificationSplit:
                     f"{name} labels must match the sample count"
                 )
 
-    @property
+    @cached_property
+    def class_labels(self) -> np.ndarray:
+        """Sorted distinct labels across both splits (computed once).
+
+        The ``np.unique`` scan over the concatenated label arrays is
+        paid on first access and cached on the (frozen) instance —
+        repeated ``num_classes`` lookups in hot experiment loops no
+        longer re-concatenate and re-sort the label arrays.
+        """
+        return np.unique(np.concatenate([self.train_labels, self.test_labels]))
+
+    @cached_property
     def num_classes(self) -> int:
-        """Number of distinct labels across both splits."""
-        return int(
-            np.unique(np.concatenate([self.train_labels, self.test_labels])).size
-        )
+        """Number of distinct labels across both splits (cached)."""
+        return int(self.class_labels.size)
 
     @property
     def num_channels(self) -> int:
@@ -91,9 +101,13 @@ class RegressionSplit:
                     f"{name} labels must match the sample count"
                 )
 
-    @property
+    @cached_property
     def label_range(self) -> tuple[float, float]:
-        """(min, max) of the *training* labels — the range label levels cover."""
+        """(min, max) of the *training* labels — the range label levels cover.
+
+        Cached on the (frozen) instance: the min/max scan runs once, not
+        on every label-embedding construction.
+        """
         return float(self.train_labels.min()), float(self.train_labels.max())
 
 

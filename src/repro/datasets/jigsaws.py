@@ -91,6 +91,64 @@ JIGSAWS_TASKS: dict[str, TaskSpec] = {
 }
 
 
+def _latent_channels(features: str, num_channels: int) -> int:
+    """Validate a feature mode and return its latent angle count."""
+    if features not in _FEATURE_MODES:
+        raise InvalidParameterError(
+            f"features must be one of {_FEATURE_MODES}, got {features!r}"
+        )
+    if features == "rotation_matrix":
+        if num_channels % 9 != 0:
+            raise InvalidParameterError(
+                "rotation_matrix mode needs num_channels divisible by 9, "
+                f"got {num_channels}"
+            )
+        return num_channels // 3  # 3 Euler angles per 9 entries
+    if num_channels < 1:
+        raise InvalidParameterError(f"need at least 1 channel, got {num_channels}")
+    return num_channels
+
+
+def _gesture_prototypes(
+    rng: np.random.Generator, spec: TaskSpec, num_gestures: int, num_latent: int
+) -> np.ndarray:
+    """Angular gesture prototypes, optionally crowded near the wrap."""
+    if spec.wrap_bias == 0.0:
+        return rng.uniform(0.0, TWO_PI, size=(num_gestures, num_latent))
+    return np.mod(
+        rng.vonmises(0.0, spec.wrap_bias, size=(num_gestures, num_latent)), TWO_PI
+    )
+
+
+def _group_samples(
+    prototype: np.ndarray,
+    offset: np.ndarray,
+    kappa: float,
+    count: int,
+    rng: np.random.Generator,
+    features: str,
+) -> np.ndarray:
+    """Samples of one (surgeon, gesture) group: prototype + offset + noise.
+
+    The generation unit shared by :func:`make_jigsaws_like` (which draws
+    every group from one sequential stream) and
+    :class:`repro.streaming.JigsawsStream` (which gives each group its
+    own RNG substream so groups can be generated out of core).
+    """
+    num_latent = prototype.shape[0]
+    noise = rng.vonmises(0.0, kappa, size=(count, num_latent))
+    angles = np.mod(prototype + offset + noise, TWO_PI)
+    if features == "rotation_matrix":
+        matrices = [
+            _euler_to_matrix(
+                angles[:, 3 * m], angles[:, 3 * m + 1], angles[:, 3 * m + 2]
+            )
+            for m in range(num_latent // 3)
+        ]
+        return np.concatenate(matrices, axis=1)
+    return angles
+
+
 def _euler_to_matrix(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
     """Rotation-matrix entries ``R = Rz(a) · Ry(b) · Rx(c)``, flattened.
 
@@ -162,21 +220,7 @@ def make_jigsaws_like(
         )
     if num_gestures < 2:
         raise InvalidParameterError(f"need at least 2 gestures, got {num_gestures}")
-    if features not in _FEATURE_MODES:
-        raise InvalidParameterError(
-            f"features must be one of {_FEATURE_MODES}, got {features!r}"
-        )
-    if features == "rotation_matrix":
-        if num_channels % 9 != 0:
-            raise InvalidParameterError(
-                "rotation_matrix mode needs num_channels divisible by 9, "
-                f"got {num_channels}"
-            )
-        num_latent = num_channels // 3  # 3 Euler angles per 9 entries
-    else:
-        if num_channels < 1:
-            raise InvalidParameterError(f"need at least 1 channel, got {num_channels}")
-        num_latent = num_channels
+    num_latent = _latent_channels(features, num_channels)
 
     spec = JIGSAWS_TASKS[task]
     sigma = spec.surgeon_sigma if surgeon_sigma is None else float(surgeon_sigma)
@@ -185,13 +229,7 @@ def make_jigsaws_like(
     proto_rng, offset_rng, noise_rng = ensure_rng(seed).spawn(3)
 
     # Gesture prototypes: angular positions, optionally crowded near the wrap.
-    if spec.wrap_bias == 0.0:
-        prototypes = proto_rng.uniform(0.0, TWO_PI, size=(num_gestures, num_latent))
-    else:
-        prototypes = np.mod(
-            proto_rng.vonmises(0.0, spec.wrap_bias, size=(num_gestures, num_latent)),
-            TWO_PI,
-        )
+    prototypes = _gesture_prototypes(proto_rng, spec, num_gestures, num_latent)
 
     # Per-surgeon systematic offsets (style differences between surgeons).
     offsets = offset_rng.normal(0.0, sigma, size=(len(SURGEONS), num_latent))
@@ -202,18 +240,9 @@ def make_jigsaws_like(
     n = spec.samples_per_gesture
     for s_idx in range(len(SURGEONS)):
         for gesture in range(num_gestures):
-            noise = noise_rng.vonmises(0.0, spec.kappa, size=(n, num_latent))
-            angles = np.mod(prototypes[gesture] + offsets[s_idx] + noise, TWO_PI)
-            if features == "rotation_matrix":
-                matrices = [
-                    _euler_to_matrix(
-                        angles[:, 3 * m], angles[:, 3 * m + 1], angles[:, 3 * m + 2]
-                    )
-                    for m in range(num_latent // 3)
-                ]
-                sample = np.concatenate(matrices, axis=1)
-            else:
-                sample = angles
+            sample = _group_samples(
+                prototypes[gesture], offsets[s_idx], spec.kappa, n, noise_rng, features
+            )
             features_list.append(sample)
             labels_list.append(np.full(n, gesture, dtype=np.int64))
             surgeon_ids.append(np.full(n, s_idx, dtype=np.int64))

@@ -9,13 +9,22 @@ Usage::
     python -m repro.experiments figure7 [--dim D] [--workers N]
     python -m repro.experiments figure8 [--dim D] [--workers N] [--fast]
     python -m repro.experiments train --out model.npz [--task T] [--basis B]
+    python -m repro.experiments train --out model.npz --stream \\
+        [--stream-samples N] [--chunk-size C] [--checkpoint CKPT.npz]
     python -m repro.experiments serve --model model.npz [--input -]
+    python -m repro.experiments serve --model model.npz --stream \\
+        [--checkpoint CKPT.npz] [--checkpoint-every N]
 
 ``train`` runs one paper pipeline (a JIGSAWS-like gesture task or the
 Mars Express regression) and writes the trained model as a portable
-``.npz`` artifact; ``serve`` loads such an artifact once and answers
-JSONL prediction requests from stdin or a file (see ``docs/SERVING.md``
-for the model format and a full walkthrough).
+``.npz`` artifact; with ``--stream`` the training set is generated and
+consumed as an out-of-core chunk stream (:mod:`repro.streaming`), so
+``--stream-samples`` may exceed RAM while peak memory stays
+O(``--chunk-size``).  ``serve`` loads such an artifact once and answers
+JSONL prediction requests from stdin or a file; with ``--stream`` it
+also learns incrementally from records carrying a ``"target"`` field,
+checkpointing atomically (see ``docs/SERVING.md`` for the model format
+and ``docs/STREAMING.md`` for the streaming protocol).
 
 Runtime flags (see ``docs/REPRODUCING.md`` for per-artifact guidance):
 
@@ -160,7 +169,13 @@ def _print_figure8(args: argparse.Namespace) -> None:
 
 
 def _run_train(args: argparse.Namespace) -> None:
-    """Train one servable pipeline and write it as a model artifact."""
+    """Train one servable pipeline and write it as a model artifact.
+
+    With ``--stream`` the training set is a synthetic
+    :mod:`repro.streaming` source consumed chunk by chunk (O(chunk)
+    peak memory; scale it with ``--stream-samples``), optionally
+    dropping an atomic checkpoint every ``--checkpoint-every`` chunks.
+    """
     if not args.out:
         raise SystemExit("train requires --out MODEL.npz")
     dim = _effective_dim(args)
@@ -170,8 +185,23 @@ def _run_train(args: argparse.Namespace) -> None:
         )
     else:
         config = ClassificationConfig(dim=dim, seed=args.seed)
-    with WorkerPool(workers=args.workers) as pool:
-        pipeline = train_pipeline(args.task, args.basis, config=config, pool=pool)
+    if args.stream:
+        from ..streaming.train import train_pipeline_stream
+
+        pipeline, stats = train_pipeline_stream(
+            args.task,
+            args.basis,
+            config=config,
+            stream_samples=args.stream_samples,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+    else:
+        with WorkerPool(workers=args.workers) as pool:
+            pipeline = train_pipeline(args.task, args.basis, config=config, pool=pool)
+        stats = None
     path = save_model(pipeline, args.out)
     meta = pipeline.metadata
     metric = (
@@ -184,6 +214,11 @@ def _run_train(args: argparse.Namespace) -> None:
         f"basis={meta['basis_kind']} d={meta['dim']} seed={meta['seed']} "
         f"({meta['num_train']} train / {meta['num_test']} test, {metric})"
     )
+    if stats is not None:
+        print(
+            f"streamed {stats.rows} rows in {stats.chunks} chunks "
+            f"of <= {args.chunk_size} rows (peak memory O(chunk))"
+        )
     print(f"saved model to {path} ({path.stat().st_size} bytes)")
 
 
@@ -194,12 +229,43 @@ def _json_safe(value) -> object:
     return value
 
 
-def _parse_request(line: str, lineno: int, num_features: int) -> list[float]:
+def _finite_number(value) -> bool:
+    try:
+        return (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(float(value))
+        )
+    except OverflowError:  # ints too large for float
+        return False
+
+
+def _parse_request(
+    line: str, lineno: int, num_features: int, allow_target: bool = False
+) -> tuple[list[float], float | None]:
+    """One JSONL request: ``(features, target)``.
+
+    ``target`` is ``None`` for plain prediction requests; training
+    records (``{"features": [...], "target": y}``) are only accepted
+    when ``allow_target`` is set (the ``serve --stream`` mode).
+    """
     try:
         payload = json.loads(line)
     except ValueError as exc:
         raise InvalidParameterError(f"request line {lineno} is not JSON: {exc}") from exc
+    target = None
     if isinstance(payload, dict):
+        if "target" in payload:
+            if not allow_target:
+                raise InvalidParameterError(
+                    f"request line {lineno} carries a training target; "
+                    "run serve with --stream to learn from targets"
+                )
+            target = payload["target"]
+            if not _finite_number(target):
+                raise InvalidParameterError(
+                    f"request line {lineno} target must be a finite number"
+                )
         payload = payload.get("features")
     if not isinstance(payload, list):
         raise InvalidParameterError(
@@ -211,19 +277,11 @@ def _parse_request(line: str, lineno: int, num_features: int) -> list[float]:
             f"this model takes {num_features}"
         )
     for v in payload:
-        try:
-            valid = (
-                isinstance(v, (int, float))
-                and not isinstance(v, bool)
-                and math.isfinite(float(v))
-            )
-        except OverflowError:  # ints too large for float
-            valid = False
-        if not valid:
+        if not _finite_number(v):
             raise InvalidParameterError(
                 f"request line {lineno} must contain only finite numbers"
             )
-    return payload
+    return payload, target
 
 
 def _run_serve(args: argparse.Namespace) -> None:
@@ -235,6 +293,13 @@ def _run_serve(args: argparse.Namespace) -> None:
     order.  With the default ``--batch-size 1`` every request is
     answered as soon as it arrives (a request/response client over a
     pipe never blocks); larger values micro-batch bulk input.
+
+    With ``--stream`` the loop also *ingests training records*:
+    a line ``{"features": [...], "target": y}`` is learned into the
+    live model (answered with ``{"learned": …}``) and affects every
+    later prediction; ``--checkpoint PATH`` atomically snapshots the
+    updated pipeline every ``--checkpoint-every`` learned records, so a
+    crash never loses more than one interval of traffic.
     """
     if not args.model:
         raise SystemExit("serve requires --model MODEL.npz")
@@ -248,38 +313,94 @@ def _run_serve(args: argparse.Namespace) -> None:
         except OSError as exc:
             raise SystemExit(f"cannot open --input {args.input}: {exc}") from exc
     engine = None
+    learner = None
     try:
         try:
-            engine = InferenceEngine.from_path(
-                args.model, workers=args.workers, backend=args.kernel
-            )
+            if args.stream:
+                from ..serve import OnlineLearner, TrainedPipeline, load_model
+
+                pipeline = load_model(args.model)
+                if not isinstance(pipeline, TrainedPipeline):
+                    raise InvalidParameterError(
+                        f"{args.model} holds a {type(pipeline).__name__}, not a "
+                        "TrainedPipeline; wrap bare models in a pipeline to serve them"
+                    )
+                learner = OnlineLearner(
+                    pipeline, workers=args.workers, backend=args.kernel
+                )
+                engine = learner.engine
+            else:
+                engine = InferenceEngine.from_path(
+                    args.model, workers=args.workers, backend=args.kernel
+                )
         except (InvalidParameterError, ModelFormatError) as exc:
             raise SystemExit(f"cannot load --model {args.model}: {exc}") from exc
+        mode = "stream-serving" if args.stream else "serving"
         print(
-            f"serving {engine.kind} model from {args.model} "
+            f"{mode} {engine.kind} model from {args.model} "
             f"(d={engine.pipeline.dim}, {engine.num_features} feature(s)/record)",
             file=sys.stderr,
         )
+        state = {"since_checkpoint": 0}
 
-        def flush(batch: list[list[float]]) -> None:
-            if not batch:
-                return
-            if len(batch) == 1:
-                # Single-record fast path (bit-identical to the batch
-                # route); the request/response loop lives here.
-                predictions = [engine.predict_one(np.asarray(batch[0], dtype=np.float64))]
-            else:
-                predictions = engine.predict(np.asarray(batch, dtype=np.float64))
-            for value in predictions:
-                print(json.dumps({"prediction": _json_safe(value)}), flush=True)
+        def maybe_checkpoint() -> None:
+            if args.checkpoint and state["since_checkpoint"] >= args.checkpoint_every:
+                learner.checkpoint(args.checkpoint)
+                state["since_checkpoint"] = 0
 
-        pending: list[list[float]] = []
+        def flush(batch: list[tuple[list[float], float | None]]) -> None:
+            # Contiguous runs of the same record type are answered as one
+            # micro-batch, keeping responses in request order.
+            i = 0
+            while i < len(batch):
+                j = i
+                learning = batch[i][1] is not None
+                while j < len(batch) and (batch[j][1] is not None) == learning:
+                    j += 1
+                feats = np.asarray([rec[0] for rec in batch[i:j]], dtype=np.float64)
+                if learning:
+                    targets: list = [rec[1] for rec in batch[i:j]]
+                    if engine.kind == "classification":
+                        targets = [int(t) for t in targets]
+                    learner.learn(feats, targets)
+                    state["since_checkpoint"] += j - i
+                    for _ in range(j - i):
+                        print(
+                            json.dumps(
+                                {"learned": True, "num_samples": learner.num_samples}
+                            ),
+                            flush=True,
+                        )
+                    maybe_checkpoint()
+                elif j - i == 1:
+                    # Single-record fast path (bit-identical to the batch
+                    # route); the request/response loop lives here.
+                    value = engine.predict_one(feats[0])
+                    print(json.dumps({"prediction": _json_safe(value)}), flush=True)
+                else:
+                    for value in engine.predict(feats):
+                        print(json.dumps({"prediction": _json_safe(value)}), flush=True)
+                i = j
+
+        pending: list[tuple[list[float], float | None]] = []
         for lineno, line in enumerate(stream, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                pending.append(_parse_request(line, lineno, engine.num_features))
+                features, target = _parse_request(
+                    line, lineno, engine.num_features, allow_target=args.stream
+                )
+                if (
+                    target is not None
+                    and engine.kind == "classification"
+                    and not float(target).is_integer()
+                ):
+                    raise InvalidParameterError(
+                        f"request line {lineno}: classification targets must be "
+                        f"integer class ids, got {target!r}"
+                    )
+                pending.append((features, target))
             except InvalidParameterError:
                 # Answer everything already accepted before failing, so
                 # the client knows exactly which requests were served.
@@ -289,8 +410,12 @@ def _run_serve(args: argparse.Namespace) -> None:
                 flush(pending)
                 pending = []
         flush(pending)
+        if learner is not None and args.checkpoint and state["since_checkpoint"]:
+            learner.checkpoint(args.checkpoint)
     finally:
-        if engine is not None:
+        if learner is not None:
+            learner.close()
+        elif engine is not None:
             engine.close()
         if stream is not sys.stdin:
             stream.close()
@@ -362,9 +487,35 @@ def main(argv: list[str] | None = None) -> int:
                          help="similarity-kernel backend for `serve` distance "
                               "scans (default: REPRO_KERNEL env or auto; all "
                               "choices answer bit-identically)")
+    streaming = parser.add_argument_group("streaming (train --stream / serve --stream)")
+    streaming.add_argument("--stream", action="store_true",
+                           help="train: consume the training set as an "
+                                "out-of-core chunk stream (O(chunk) memory); "
+                                "serve: also learn from JSONL records that "
+                                "carry a \"target\" field")
+    streaming.add_argument("--stream-samples", type=int, default=None,
+                           help="total training rows `train --stream` generates "
+                                "(default: the generator's paper-scale size); "
+                                "may exceed RAM — memory stays O(--chunk-size)")
+    streaming.add_argument("--chunk-size", type=int, default=1024,
+                           help="rows per streamed chunk — the memory knob of "
+                                "--stream (results are bit-identical for any "
+                                "value)")
+    streaming.add_argument("--checkpoint", default=None, metavar="CKPT.npz",
+                           help="atomic checkpoint file updated while "
+                                "streaming (train: every --checkpoint-every "
+                                "chunks; serve: every --checkpoint-every "
+                                "learned records)")
+    streaming.add_argument("--checkpoint-every", type=int, default=8,
+                           help="checkpoint interval for --checkpoint "
+                                "(default: 8)")
     args = parser.parse_args(argv)
     if args.batch_size < 1:
         parser.error(f"--batch-size must be positive, got {args.batch_size}")
+    if args.chunk_size < 1:
+        parser.error(f"--chunk-size must be positive, got {args.chunk_size}")
+    if args.checkpoint_every < 1:
+        parser.error(f"--checkpoint-every must be positive, got {args.checkpoint_every}")
     logging.basicConfig(
         level=logging.INFO, stream=sys.stderr, format="[%(name)s] %(message)s"
     )

@@ -31,6 +31,13 @@ from .kernels import (
     topk_hamming,
     use_gemm,
 )
+from .coerce import (
+    EncodedBatch,
+    any_packed,
+    as_encoded_batch,
+    as_packed_batch,
+    batch_rows,
+)
 from .memory import ItemMemory
 from .packed import (
     BundleAccumulator,
@@ -106,6 +113,11 @@ __all__ = [
     "topk_hamming",
     "PackedHV",
     "BundleAccumulator",
+    "EncodedBatch",
+    "any_packed",
+    "as_encoded_batch",
+    "as_packed_batch",
+    "batch_rows",
     "is_packed",
     "coerce_packed",
     "packed_width",

@@ -28,6 +28,7 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
+from .coerce import as_packed_batch
 from .kernels import TopK, pairwise_hamming, topk_hamming
 from .packed import PackedHV, coerce_packed, is_packed, packed_width
 
@@ -192,18 +193,7 @@ class ItemMemory:
         return PackedHV(self._matrix, self._dim)
 
     def _coerce_query(self, query: np.ndarray | PackedHV, context: str) -> tuple[PackedHV, bool]:
-        packed = coerce_packed(query)
-        if packed.dim != self._dim:
-            raise DimensionMismatchError(self._dim, packed.dim, context)
-        single = packed.ndim == 1
-        if single:
-            packed = PackedHV(packed.data[None, :], self._dim)
-        if packed.ndim != 2:
-            raise InvalidParameterError(
-                f"{context} expects a single hypervector or an (n, d) batch, "
-                f"got shape {packed.shape}"
-            )
-        return packed, single
+        return as_packed_batch(query, self._dim, context)
 
     def distances(self, query: np.ndarray | PackedHV, backend: str | None = None) -> np.ndarray:
         """Normalized Hamming distance from ``query`` to every stored item.

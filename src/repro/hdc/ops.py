@@ -39,6 +39,7 @@ from .._rng import SeedLike, ensure_rng
 from ..exceptions import DimensionMismatchError, InvalidParameterError
 from . import kernels as _kernels
 from . import packed as _packed
+from .coerce import any_packed
 from .hypervector import BIT_DTYPE, as_hypervector
 
 __all__ = [
@@ -104,7 +105,7 @@ def bind_all(hvs: Union[np.ndarray, Sequence[np.ndarray]]) -> np.ndarray:
         return _packed.packed_bind_all(hvs)
     if not isinstance(hvs, np.ndarray):
         hvs = list(hvs)
-        if any(_packed.is_packed(h) for h in hvs):
+        if any_packed(hvs):
             return _packed.packed_bind_all(hvs)
     stack = _as_stack(hvs)
     return np.bitwise_xor.reduce(stack, axis=0)
@@ -221,7 +222,7 @@ def bundle(
         return _packed.packed_bundle(hvs, tie_break=tie_break, seed=seed)
     if not isinstance(hvs, np.ndarray):
         hvs = list(hvs)
-        if any(_packed.is_packed(h) for h in hvs):
+        if any_packed(hvs):
             return _packed.packed_bundle(hvs, tie_break=tie_break, seed=seed)
     stack = _as_stack(hvs)
     counts = stack.sum(axis=0, dtype=np.int64)

@@ -23,26 +23,25 @@ packed :class:`~repro.hdc.packed.PackedHV` batch — with identical results.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence, Union
+from typing import Hashable, Iterable, Sequence, Tuple
 
 import numpy as np
 
 from .._rng import SeedLike, ensure_rng
 from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
-from ..hdc.hypervector import as_hypervector
+from ..hdc.coerce import EncodedBatch, as_encoded_batch
 from ..hdc.kernels import pairwise_hamming
 from ..hdc.ops import TieBreak, majority_from_counts
 from ..hdc.packed import (
     BundleAccumulator,
     PackedHV,
-    is_packed,
 )
 from .metrics import accuracy
 
 __all__ = ["CentroidClassifier"]
 
-#: Either hypervector representation accepted by the classifier.
-EncodedBatch = Union[np.ndarray, PackedHV]
+#: One unit of streamed training work: an encoded batch plus its labels.
+LabelledChunk = Tuple[EncodedBatch, Sequence[Hashable]]
 
 
 class CentroidClassifier:
@@ -134,69 +133,97 @@ class CentroidClassifier:
 
     # -- training ----------------------------------------------------------------
     def _check_batch(self, encoded: EncodedBatch) -> EncodedBatch:
-        if is_packed(encoded):
-            packed: PackedHV = encoded
-            if packed.ndim == 1:
-                packed = PackedHV(packed.data[None, :], packed.dim)
-            if packed.ndim != 2:
-                raise InvalidParameterError(
-                    f"expected encoded samples of shape (n, d), got {packed.shape}"
-                )
-            if packed.dim != self._dim:
-                raise DimensionMismatchError(self._dim, packed.dim, "CentroidClassifier")
-            return packed
-        arr = as_hypervector(encoded)
-        if arr.ndim == 1:
-            arr = arr[None, :]
-        if arr.ndim != 2:
+        return as_encoded_batch(encoded, self._dim, "CentroidClassifier")
+
+    @staticmethod
+    def _label_masks(
+        labels: Sequence[Hashable], count: int
+    ) -> list[tuple[Hashable, np.ndarray]]:
+        """``(label, row mask)`` pairs in first-seen order.
+
+        First-seen order (not set order): class insertion order decides
+        nearest-class tie resolution, so it must be deterministic and
+        must not depend on how the samples are sharded.
+        """
+        labels = list(labels)
+        if len(labels) != count:
             raise InvalidParameterError(
-                f"expected encoded samples of shape (n, d), got {arr.shape}"
+                f"got {count} samples but {len(labels)} labels"
             )
-        if arr.shape[1] != self._dim:
-            raise DimensionMismatchError(self._dim, arr.shape[1], "CentroidClassifier")
-        return arr
+        return [
+            (
+                label,
+                np.fromiter((l == label for l in labels), dtype=bool, count=count),
+            )
+            for label in dict.fromkeys(labels)
+        ]
 
     def _invalidate(self) -> None:
         self._class_vectors = None
         self._packed_table = None
 
+    def partial_fit(self, chunks: Iterable[LabelledChunk]) -> "CentroidClassifier":
+        """Canonical chunked reducer: stream labelled chunks into the model.
+
+        ``chunks`` is any iterable of ``(encoded, labels)`` pairs — an
+        in-memory list, a generator over a
+        :class:`~repro.streaming.ChunkSource`, or a single-element list
+        (which is exactly what :meth:`fit` passes).  Every chunk is
+        reduced to per-class bundle statistics (:meth:`shard_counts`)
+        and folded in with :meth:`absorb_counts`; because bundle counts
+        are integer sums, the result is **bit-identical to one
+        monolithic** :meth:`fit` over the concatenated samples for any
+        chunking, and peak memory is O(chunk), not O(n).  Returns
+        ``self`` for chaining.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> x = np.eye(8, dtype=np.uint8)
+        >>> y = [0, 1] * 4
+        >>> serial = CentroidClassifier(dim=8, tie_break="zeros").fit(x, y)
+        >>> chunked = CentroidClassifier(dim=8, tie_break="zeros").partial_fit(
+        ...     (x[s:s + 3], y[s:s + 3]) for s in range(0, 8, 3))
+        >>> bool(np.array_equal(chunked.class_vector(0), serial.class_vector(0)))
+        True
+        """
+        for encoded, labels in chunks:
+            batch = self._check_batch(encoded)
+            # Accumulate straight into the persistent per-class counts —
+            # one pass, no transient accumulators on the online hot path.
+            # shard_counts/absorb_counts are the pure/merge split of this
+            # same reduction for workers that cannot share state.
+            for label, mask in self._label_masks(labels, batch.shape[0]):
+                if label not in self._accumulators:
+                    self._accumulators[label] = BundleAccumulator(self._dim)
+                self._accumulators[label].add(batch[mask])
+            self._invalidate()
+        return self
+
     def fit(self, encoded: EncodedBatch, labels: Sequence[Hashable]) -> "CentroidClassifier":
         """Single-pass training: bundle each class's samples (Section 2.2).
 
-        May be called repeatedly; accumulators keep growing, which makes
-        the classifier natively incremental (a property HDC is praised
-        for).  Returns ``self`` for chaining.
+        A thin wrapper over :meth:`partial_fit` with one chunk.  May be
+        called repeatedly; accumulators keep growing, which makes the
+        classifier natively incremental (a property HDC is praised for).
+        Returns ``self`` for chaining.
         """
-        batch = self._check_batch(encoded)
-        labels = list(labels)
-        if len(labels) != batch.shape[0]:
-            raise InvalidParameterError(
-                f"got {batch.shape[0]} samples but {len(labels)} labels"
-            )
-        # First-seen order (not set order): class insertion order decides
-        # nearest-class tie resolution, so it must be deterministic and
-        # must not depend on how the samples are sharded.
-        for label in dict.fromkeys(labels):
-            mask = np.fromiter((l == label for l in labels), dtype=bool, count=len(labels))
-            if label not in self._accumulators:
-                self._accumulators[label] = BundleAccumulator(self._dim)
-            self._accumulators[label].add(batch[mask])
-        self._invalidate()
-        return self
+        return self.partial_fit([(encoded, labels)])
 
     def shard_counts(
         self, encoded: EncodedBatch, labels: Sequence[Hashable]
     ) -> dict[Hashable, BundleAccumulator]:
-        """Per-class bundle statistics of one training shard (pure).
+        """Per-class bundle statistics of one training chunk (pure).
 
-        Computes what :meth:`fit` would accumulate for these samples
-        without touching the classifier's state: a mapping from label to
-        a fresh :class:`~repro.hdc.packed.BundleAccumulator`, keyed in
-        first-seen order.  This is the unit of parallel training work —
-        workers call ``shard_counts`` on disjoint sample shards and the
-        parent folds the results back in shard order with
-        :meth:`absorb_counts`, which is bit-identical to one serial
-        :meth:`fit` over the concatenated samples.
+        The reduce step of the canonical chunked reducer: a mapping from
+        label to a fresh :class:`~repro.hdc.packed.BundleAccumulator`,
+        keyed in first-seen order, computed without touching the
+        classifier's state.  :meth:`partial_fit` folds these in with
+        :meth:`absorb_counts`; parallel trainers
+        (:func:`repro.runtime.parallel.fit_classifier_sharded`) compute
+        them on worker threads and absorb in shard order — both
+        bit-identical to one serial :meth:`fit` over the concatenated
+        samples.
 
         Example
         -------
@@ -211,14 +238,8 @@ class CentroidClassifier:
         True
         """
         batch = self._check_batch(encoded)
-        labels = list(labels)
-        if len(labels) != batch.shape[0]:
-            raise InvalidParameterError(
-                f"got {batch.shape[0]} samples but {len(labels)} labels"
-            )
         shard: dict[Hashable, BundleAccumulator] = {}
-        for label in dict.fromkeys(labels):
-            mask = np.fromiter((l == label for l in labels), dtype=bool, count=len(labels))
+        for label, mask in self._label_masks(labels, batch.shape[0]):
             acc = BundleAccumulator(self._dim)
             acc.add(batch[mask])
             shard[label] = acc
@@ -271,24 +292,17 @@ class CentroidClassifier:
         True
         """
         batch = self._check_batch(encoded)
-        labels = list(labels)
-        if len(labels) != batch.shape[0]:
-            raise InvalidParameterError(
-                f"got {batch.shape[0]} samples but {len(labels)} labels"
-            )
-        masks: list[tuple[Hashable, np.ndarray]] = []
-        for label in dict.fromkeys(labels):
+        masks = self._label_masks(labels, batch.shape[0])
+        for label, mask in masks:
             if label not in self._accumulators:
                 raise InvalidParameterError(
                     f"label {label!r} was never seen by fit()"
                 )
-            mask = np.fromiter((l == label for l in labels), dtype=bool, count=len(labels))
             if int(mask.sum()) > self._accumulators[label].total:
                 raise InvalidParameterError(
                     f"cannot forget {int(mask.sum())} sample(s) of class "
                     f"{label!r}: it only holds {self._accumulators[label].total}"
                 )
-            masks.append((label, mask))
         # Validate every class before mutating any, so a rejected call
         # leaves the model untouched.
         for label, mask in masks:

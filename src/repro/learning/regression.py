@@ -38,14 +38,15 @@ Beyond the paper, :class:`HDRegressor` supports:
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Iterable, Tuple
 
 import numpy as np
 
 from .._rng import SeedLike, ensure_rng
 from ..basis.base import Embedding
-from ..exceptions import DimensionMismatchError, EmptyModelError, InvalidParameterError
-from ..hdc.hypervector import BIT_DTYPE, as_hypervector
+from ..exceptions import EmptyModelError, InvalidParameterError
+from ..hdc.coerce import EncodedBatch, as_encoded_batch
+from ..hdc.hypervector import BIT_DTYPE
 from ..hdc.kernels import pairwise_hamming
 from ..hdc.ops import TieBreak
 from ..hdc.packed import (
@@ -61,8 +62,8 @@ __all__ = ["HDRegressor"]
 _DECODE_MODES = ("argmin", "weighted")
 _MODEL_MODES = ("binary", "integer")
 
-#: Either hypervector representation accepted by the regressor.
-EncodedBatch = Union[np.ndarray, PackedHV]
+#: One unit of streamed training work: an encoded batch plus its targets.
+TargetChunk = Tuple[EncodedBatch, np.ndarray]
 
 
 class HDRegressor:
@@ -130,50 +131,66 @@ class HDRegressor:
         return self._bundle.total
 
     def _check_batch(self, encoded: EncodedBatch) -> EncodedBatch:
-        if is_packed(encoded):
-            packed: PackedHV = encoded
-            if packed.ndim == 1:
-                packed = PackedHV(packed.data[None, :], packed.dim)
-            if packed.ndim != 2:
-                raise InvalidParameterError(
-                    f"expected encoded samples of shape (n, d), got {packed.shape}"
-                )
-            if packed.dim != self._dim:
-                raise DimensionMismatchError(self._dim, packed.dim, "HDRegressor")
-            return packed
-        arr = as_hypervector(encoded)
-        if arr.ndim == 1:
-            arr = arr[None, :]
-        if arr.ndim != 2:
-            raise InvalidParameterError(
-                f"expected encoded samples of shape (n, d), got {arr.shape}"
-            )
-        if arr.shape[1] != self._dim:
-            raise DimensionMismatchError(self._dim, arr.shape[1], "HDRegressor")
-        return arr
+        return as_encoded_batch(encoded, self._dim, "HDRegressor")
 
-    def fit(self, encoded: EncodedBatch, y: np.ndarray) -> "HDRegressor":
-        """Accumulate ``φ(x_i) ⊗ φ_ℓ(y_i)`` terms into the model bundle.
-
-        Incremental: repeated calls keep extending the same memory.
-        Returns ``self`` for chaining.
-        """
+    def _check_xy(self, encoded: EncodedBatch, y: np.ndarray) -> tuple[EncodedBatch, np.ndarray]:
         batch = self._check_batch(encoded)
         y = np.asarray(y, dtype=np.float64)
         if y.shape != (batch.shape[0],):
             raise InvalidParameterError(
                 f"y must have shape ({batch.shape[0]},), got {y.shape}"
             )
+        return batch, y
+
+    def _bind_labels(self, batch: EncodedBatch, y: np.ndarray) -> EncodedBatch:
+        """The ``φ(x_i) ⊗ φ_ℓ(y_i)`` terms, in the batch's representation."""
         if is_packed(batch):
-            label_hvs = self.label_embedding.encode_packed(y)
-            bound: EncodedBatch = packed_bind(batch, label_hvs)
-        else:
-            label_hvs = self.label_embedding.encode(y)
-            bound = np.bitwise_xor(batch, label_hvs)
-        self._bundle.add(bound)
-        self._model = None
-        self._packed_model = None
+            return packed_bind(batch, self.label_embedding.encode_packed(y))
+        return np.bitwise_xor(batch, self.label_embedding.encode(y))
+
+    def partial_fit(self, chunks: Iterable[TargetChunk]) -> "HDRegressor":
+        """Canonical chunked reducer: stream ``(encoded, y)`` chunks in.
+
+        ``chunks`` is any iterable of ``(encoded, y)`` pairs — an
+        in-memory list, a generator over a
+        :class:`~repro.streaming.ChunkSource`, or the single-element
+        list :meth:`fit` passes.  Every chunk is reduced to a fresh
+        bundle (:meth:`shard_bundle`) and folded in with :meth:`absorb`;
+        integer counts commute, so the result is **bit-identical to one
+        monolithic** :meth:`fit` over the concatenated samples for any
+        chunking, with O(chunk) peak memory.  Returns ``self``.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> from repro.basis import LevelBasis
+        >>> emb = LevelBasis(4, 16, seed=0).linear_embedding(0.0, 1.0)
+        >>> y = np.linspace(0.0, 1.0, 8)
+        >>> x = emb.encode(y)
+        >>> serial = HDRegressor(emb, tie_break="zeros").fit(x, y)
+        >>> chunked = HDRegressor(emb, tie_break="zeros").partial_fit(
+        ...     (x[s:s + 3], y[s:s + 3]) for s in range(0, 8, 3))
+        >>> bool(np.array_equal(chunked.model, serial.model))
+        True
+        """
+        for encoded, y in chunks:
+            batch, targets = self._check_xy(encoded, y)
+            # Accumulate straight into the persistent bundle — one pass,
+            # no transient accumulator on the online hot path (the
+            # shard_bundle/absorb pair is the stateless form for workers).
+            self._bundle.add(self._bind_labels(batch, targets))
+            self._model = None
+            self._packed_model = None
         return self
+
+    def fit(self, encoded: EncodedBatch, y: np.ndarray) -> "HDRegressor":
+        """Accumulate ``φ(x_i) ⊗ φ_ℓ(y_i)`` terms into the model bundle.
+
+        A thin wrapper over :meth:`partial_fit` with one chunk.
+        Incremental: repeated calls keep extending the same memory.
+        Returns ``self`` for chaining.
+        """
+        return self.partial_fit([(encoded, y)])
 
     def forget(self, encoded: EncodedBatch, y: np.ndarray) -> "HDRegressor":
         """Remove previously fitted ``(encoded, y)`` samples from the memory.
@@ -198,22 +215,13 @@ class HDRegressor:
         >>> bool(np.array_equal(model.model, before))
         True
         """
-        batch = self._check_batch(encoded)
-        y = np.asarray(y, dtype=np.float64)
-        if y.shape != (batch.shape[0],):
-            raise InvalidParameterError(
-                f"y must have shape ({batch.shape[0]},), got {y.shape}"
-            )
+        batch, y = self._check_xy(encoded, y)
         if batch.shape[0] > self._bundle.total:
             raise InvalidParameterError(
                 f"cannot forget {batch.shape[0]} sample(s): the model only "
                 f"holds {self._bundle.total}"
             )
-        if is_packed(batch):
-            bound: EncodedBatch = packed_bind(batch, self.label_embedding.encode_packed(y))
-        else:
-            bound = np.bitwise_xor(batch, self.label_embedding.encode(y))
-        self._bundle.subtract(bound)
+        self._bundle.subtract(self._bind_labels(batch, y))
         self._model = None
         self._packed_model = None
         return self
@@ -241,17 +249,9 @@ class HDRegressor:
         >>> bool(np.array_equal(serial.model, sharded.model))
         True
         """
-        batch = self._check_batch(encoded)
-        y = np.asarray(y, dtype=np.float64)
-        if y.shape != (batch.shape[0],):
-            raise InvalidParameterError(
-                f"y must have shape ({batch.shape[0]},), got {y.shape}"
-            )
+        batch, y = self._check_xy(encoded, y)
         acc = BundleAccumulator(self._dim)
-        if is_packed(batch):
-            acc.add(packed_bind(batch, self.label_embedding.encode_packed(y)))
-        else:
-            acc.add(np.bitwise_xor(batch, self.label_embedding.encode(y)))
+        acc.add(self._bind_labels(batch, y))
         return acc
 
     def absorb(self, shard: BundleAccumulator) -> "HDRegressor":

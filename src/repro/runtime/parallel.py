@@ -38,16 +38,18 @@ backend is for self-contained experiment cells (see
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence, Union
+from typing import Hashable, Sequence
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..hdc.coerce import EncodedBatch, batch_rows
 from ..hdc.memory import ItemMemory
-from ..hdc.packed import PackedHV, is_packed
+from ..hdc.packed import is_packed
 from ..learning.classifier import CentroidClassifier
 from ..learning.metrics import accuracy
 from ..learning.regression import HDRegressor
+from ..streaming.chunks import iter_slices
 from .pool import WorkerPool
 
 __all__ = [
@@ -61,30 +63,8 @@ __all__ = [
     "memory_query_topk_sharded",
 ]
 
-#: Either hypervector representation accepted by the learning models.
-EncodedBatch = Union[np.ndarray, PackedHV]
-
 #: Default samples per training/inference shard.
 DEFAULT_CHUNK_SIZE = 1024
-
-
-def _num_rows(encoded: EncodedBatch) -> int:
-    if is_packed(encoded):
-        if encoded.ndim != 2:
-            raise InvalidParameterError(
-                f"expected an (n, d) batch, got shape {encoded.shape}"
-            )
-        return len(encoded)
-    arr = np.asarray(encoded)
-    if arr.ndim != 2:
-        raise InvalidParameterError(f"expected an (n, d) batch, got shape {arr.shape}")
-    return arr.shape[0]
-
-
-def _chunk_bounds(n: int, chunk_size: int) -> list[tuple[int, int]]:
-    if chunk_size < 1:
-        raise InvalidParameterError(f"chunk_size must be positive, got {chunk_size}")
-    return [(s, min(n, s + chunk_size)) for s in range(0, n, chunk_size)]
 
 
 # -- classifier ---------------------------------------------------------------
@@ -111,10 +91,13 @@ def fit_classifier_sharded(
     [0, 1]
     """
     labels = list(labels)
-    n = _num_rows(encoded)
+    n = batch_rows(encoded)
     if len(labels) != n:
         raise InvalidParameterError(f"got {n} samples but {len(labels)} labels")
-    bounds = _chunk_bounds(n, chunk_size)
+    # A thin parallel wrapper over the canonical chunked reducer: the
+    # pool runs the pure reduce step (shard_counts), the absorb loop is
+    # exactly what partial_fit does with the same shards in order.
+    bounds = iter_slices(n, chunk_size)
     shards = pool.map(
         lambda b: classifier.shard_counts(encoded[b[0]:b[1]], labels[b[0]:b[1]]),
         bounds,
@@ -149,7 +132,7 @@ def predict_classifier_sharded(
     True
     """
     classifier.prepare()
-    bounds = _chunk_bounds(_num_rows(encoded), chunk_size)
+    bounds = iter_slices(batch_rows(encoded), chunk_size)
     parts = pool.map(
         lambda b: classifier.predict(encoded[b[0]:b[1]], backend=backend), bounds
     )
@@ -211,10 +194,12 @@ def fit_regressor_sharded(
     8
     """
     y = np.asarray(y, dtype=np.float64)
-    n = _num_rows(encoded)
+    n = batch_rows(encoded)
     if y.shape != (n,):
         raise InvalidParameterError(f"y must have shape ({n},), got {y.shape}")
-    bounds = _chunk_bounds(n, chunk_size)
+    # Thin parallel wrapper over the canonical reducer (see
+    # fit_classifier_sharded): pool-mapped shard_bundle, in-order absorb.
+    bounds = iter_slices(n, chunk_size)
     shards = pool.map(
         lambda b: model.shard_bundle(encoded[b[0]:b[1]], y[b[0]:b[1]]), bounds
     )
@@ -244,7 +229,7 @@ def predict_regressor_sharded(
     True
     """
     model.prepare()
-    bounds = _chunk_bounds(_num_rows(encoded), chunk_size)
+    bounds = iter_slices(batch_rows(encoded), chunk_size)
     parts = pool.map(
         lambda b: model.predict(encoded[b[0]:b[1]], backend=backend), bounds
     )

@@ -41,6 +41,10 @@ class OnlineLearner:
         immediately.
     workers:
         Worker count for the embedded engine's encode/predict sharding.
+    backend:
+        Similarity-kernel backend for the embedded engine's distance
+        scans (``"auto"``/``"gemm"``/``"xor"``; ``None`` defers to the
+        ``REPRO_KERNEL`` environment variable).
 
     Example
     -------
@@ -57,8 +61,13 @@ class OnlineLearner:
     12
     """
 
-    def __init__(self, pipeline: TrainedPipeline, workers: int = 1) -> None:
-        self.engine = InferenceEngine(pipeline, workers=workers)
+    def __init__(
+        self,
+        pipeline: TrainedPipeline,
+        workers: int = 1,
+        backend: str | None = None,
+    ) -> None:
+        self.engine = InferenceEngine(pipeline, workers=workers, backend=backend)
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -94,17 +103,20 @@ class OnlineLearner:
         """Encode records and add them to the model (incremental fit).
 
         ``targets`` are class labels for classification pipelines and
-        float values for regression pipelines.  The update is a pure
-        accumulator addition — O(d) per class/model, independent of how
-        much traffic was absorbed before.  Returns ``self``.
+        float values for regression pipelines.  A thin wrapper over the
+        model's canonical
+        :meth:`~repro.learning.classifier.CentroidClassifier.partial_fit`
+        reducer with one chunk: the update is a pure accumulator
+        addition — O(d) per class/model, independent of how much traffic
+        was absorbed before, and bit-identical to batch-training on the
+        same records.  Returns ``self``.
         """
         encoded = self.engine.encode(features)
         targets = self._check_targets(targets, encoded.shape[0])
         model = self.pipeline.model
-        if isinstance(model, CentroidClassifier):
-            model.fit(encoded, targets)
-        else:
-            model.fit(encoded, np.asarray(targets, dtype=np.float64))
+        if not isinstance(model, CentroidClassifier):
+            targets = np.asarray(targets, dtype=np.float64)
+        model.partial_fit([(encoded, targets)])
         return self
 
     def forget(
@@ -155,6 +167,42 @@ class OnlineLearner:
                 )
             model.absorb(shard)
         return self
+
+    def learn_stream(
+        self,
+        source,
+        checkpoint: Union[str, os.PathLike, None] = None,
+        checkpoint_every: int = 8,
+    ):
+        """Stream a labelled :class:`~repro.streaming.ChunkSource` in.
+
+        The out-of-core form of :meth:`learn`: every chunk is encoded
+        through the serving engine (identical bits to request encoding)
+        and reduced into the live model via the canonical
+        ``partial_fit`` — memory stays O(chunk) however long the stream
+        runs.  With ``checkpoint`` set, the pipeline is atomically
+        snapshotted every ``checkpoint_every`` chunks (see
+        :meth:`checkpoint`).  Returns the
+        :class:`~repro.streaming.StreamStats` of the pass.
+        """
+        from ..streaming.reduce import encode_reduce
+
+        hook = None
+        if checkpoint is not None:
+            from ..streaming.train import checkpointer
+
+            hook = checkpointer(self.pipeline, checkpoint, checkpoint_every)
+        stats = encode_reduce(
+            self.pipeline.model,
+            source,
+            lambda chunk: self.engine.encode(chunk.features),
+            on_chunk=hook,
+        )
+        if checkpoint is not None:
+            # Final snapshot: the tail chunks past the last interval
+            # multiple must not be lost when the stream ends.
+            self.checkpoint(checkpoint)
+        return stats
 
     # -- serving passthrough ---------------------------------------------------
     def predict(self, features: Any):

@@ -1,0 +1,78 @@
+"""Streaming out-of-core pipeline: the one chunked reducer for training.
+
+Every training path in the repository — batch experiment cells, sharded
+parallel fits, online serving updates — reduces to the same computation:
+*encode a slab of records, accumulate integer bundle counts, merge*.
+This package is that computation's single implementation:
+
+* :mod:`repro.streaming.chunks` — the :class:`Chunk` /
+  :class:`ChunkSource` protocol plus adapters for in-memory arrays and
+  dataset containers (``array_chunks`` / ``split_chunks`` /
+  ``rechunk``);
+* :mod:`repro.streaming.sources` — seeded synthetic generators
+  (:class:`JigsawsStream`, :class:`MarsExpressStream`) whose per-cell
+  RNG substreams make any chunking bit-identical;
+* :mod:`repro.streaming.reduce` — :func:`stream_encode` (chunking
+  invariant record encoding via position-keyed tie coins) and
+  :func:`encode_reduce` (the fused encode→\\ ``partial_fit`` stage,
+  O(chunk) peak memory);
+* :mod:`repro.streaming.train` — typed drivers
+  (``stream_fit_classifier`` / ``stream_fit_regressor`` and scoring
+  counterparts) plus :func:`train_pipeline_stream`, the engine of the
+  ``train --stream`` CLI, with atomic checkpoints.
+
+The models' ``partial_fit`` / ``shard_counts`` / ``absorb_counts``
+methods, the :mod:`repro.runtime.parallel` sharded helpers and
+:class:`repro.serve.OnlineLearner` are all thin wrappers over these
+pieces — see ``docs/STREAMING.md`` for the protocol, the memory model
+and the checkpoint format.
+"""
+
+from .chunks import (
+    DEFAULT_CHUNK_ROWS,
+    Chunk,
+    ChunkSource,
+    array_chunks,
+    iter_slices,
+    rechunk,
+    split_chunks,
+)
+from .sources import JigsawsStream, MarsExpressStream
+from .reduce import (
+    StreamStats,
+    encode_reduce,
+    positional_tie_bits,
+    resolve_majority,
+    stream_encode,
+)
+from .train import (
+    checkpointer,
+    stream_fit_classifier,
+    stream_fit_regressor,
+    stream_score_classifier,
+    stream_score_regressor,
+    train_pipeline_stream,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "Chunk",
+    "ChunkSource",
+    "array_chunks",
+    "iter_slices",
+    "rechunk",
+    "split_chunks",
+    "JigsawsStream",
+    "MarsExpressStream",
+    "StreamStats",
+    "encode_reduce",
+    "positional_tie_bits",
+    "resolve_majority",
+    "stream_encode",
+    "checkpointer",
+    "stream_fit_classifier",
+    "stream_fit_regressor",
+    "stream_score_classifier",
+    "stream_score_regressor",
+    "train_pipeline_stream",
+]

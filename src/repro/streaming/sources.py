@@ -1,0 +1,484 @@
+"""Seeded synthetic streams: generate workloads chunk by chunk.
+
+The dataset generators in :mod:`repro.datasets` materialise a whole
+split in RAM — fine at paper scale, a wall at production scale.  The
+sources here generate the *same family* of workloads out of core:
+
+* the generation grid is fixed (per-group for the gesture stream, per
+  fixed-size block for the telemetry stream) and every grid cell owns
+  its own RNG substream (``SeedSequence`` children keyed by cell
+  index), so the emitted rows are **bit-identical for every chunk
+  size** and for repeated iterations of the same source;
+* chunks are produced by re-slicing the grid cells, holding only one
+  cell plus one chunk in memory at a time;
+* :meth:`~JigsawsStream.materialize` concatenates the stream back into
+  the in-memory container, which is how the tests pin streaming ==
+  monolithic.
+
+These are *new* large-scale sources, not byte-for-byte replays of
+:func:`~repro.datasets.make_jigsaws_like` /
+:func:`~repro.datasets.make_mars_express_like`: the monolithic
+generators draw every group from one sequential stream (and sort /
+permute globally), which cannot be reproduced without materialising the
+whole split.  They share the same generation *unit* (the
+``datasets.jigsaws`` group sampler, the ``datasets.mars_express`` power
+curve), so the statistical structure the experiments probe is
+identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..datasets.base import ClassificationSplit, RegressionSplit
+from ..datasets.jigsaws import (
+    JIGSAWS_TASKS,
+    SURGEONS,
+    _gesture_prototypes,
+    _group_samples,
+    _latent_channels,
+)
+from ..datasets.mars_express import mars_power_curve
+from ..exceptions import InvalidParameterError
+from .chunks import DEFAULT_CHUNK_ROWS, Chunk, iter_slices, rechunk
+
+__all__ = ["JigsawsStream", "MarsExpressStream"]
+
+TWO_PI = 2.0 * math.pi
+
+_PARTS = ("train", "test")
+
+
+def _seed_entropy(seed) -> int | tuple:
+    """Entropy for the source's root ``SeedSequence``.
+
+    Integers and ``None`` seed a fresh sequence; a ``Generator`` donates
+    one draw (so experiment drivers can hand their spawned streams in);
+    a ``SeedSequence`` contributes its own entropy.
+    """
+    if seed is None:
+        return np.random.SeedSequence().entropy
+    if isinstance(seed, np.random.SeedSequence):
+        return seed.entropy
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63))
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        return int(seed)
+    raise InvalidParameterError(
+        f"seed must be an int, Generator, SeedSequence or None, got {seed!r}"
+    )
+
+
+def _check_part(part: str) -> str:
+    if part not in _PARTS:
+        raise InvalidParameterError(f"part must be one of {_PARTS}, got {part!r}")
+    return part
+
+
+class JigsawsStream:
+    """Out-of-core surrogate surgical-gesture stream.
+
+    Generates the same (gesture prototype + surgeon offset + von Mises
+    noise) structure as :func:`~repro.datasets.make_jigsaws_like`, one
+    ``(surgeon, gesture)`` group at a time.  Each group draws from its
+    own ``SeedSequence`` child keyed by the group's fixed grid index, so
+    the stream is bit-identical for any ``chunk_size``, any number of
+    passes, and between the ``"train"`` and ``"test"`` parts of the
+    same seed.  ``samples_per_gesture`` scales the workload far past
+    what fits in RAM — memory stays O(group + chunk).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> stream = JigsawsStream("knot_tying", seed=0, chunk_size=64)
+    >>> stream.num_rows, stream.num_features, stream.num_classes
+    (300, 18, 15)
+    >>> a = np.concatenate([c.features for c in stream])
+    >>> b = np.concatenate([c.features for c in JigsawsStream(
+    ...     "knot_tying", seed=0, chunk_size=17)])
+    >>> bool(np.array_equal(a, b))
+    True
+    """
+
+    def __init__(
+        self,
+        task: str = "knot_tying",
+        part: str = "train",
+        chunk_size: int = DEFAULT_CHUNK_ROWS,
+        seed=None,
+        samples_per_gesture: int | None = None,
+        num_gestures: int = 15,
+        num_channels: int = 18,
+        train_surgeon: str = "D",
+        surgeon_sigma: float | None = None,
+        features: str = "angles",
+    ) -> None:
+        if task not in JIGSAWS_TASKS:
+            raise InvalidParameterError(
+                f"unknown task {task!r}; choose from {sorted(JIGSAWS_TASKS)}"
+            )
+        if train_surgeon not in SURGEONS:
+            raise InvalidParameterError(
+                f"unknown surgeon {train_surgeon!r}; choose from {SURGEONS}"
+            )
+        if num_gestures < 2:
+            raise InvalidParameterError(f"need at least 2 gestures, got {num_gestures}")
+        iter_slices(0, chunk_size)  # validate chunk_size
+        self.task = task
+        self.part = _check_part(part)
+        self.chunk_size = int(chunk_size)
+        self.spec = JIGSAWS_TASKS[task]
+        self.num_gestures = int(num_gestures)
+        self.num_channels = int(num_channels)
+        self.train_surgeon = train_surgeon
+        self.features = features
+        self._num_latent = _latent_channels(features, num_channels)
+        self.samples_per_gesture = int(
+            self.spec.samples_per_gesture
+            if samples_per_gesture is None
+            else samples_per_gesture
+        )
+        if self.samples_per_gesture < 1:
+            raise InvalidParameterError(
+                f"samples_per_gesture must be positive, got {samples_per_gesture}"
+            )
+        sigma = self.spec.surgeon_sigma if surgeon_sigma is None else float(surgeon_sigma)
+        if sigma < 0:
+            raise InvalidParameterError(
+                f"surgeon_sigma must be non-negative, got {sigma}"
+            )
+        self.surgeon_sigma = sigma
+        self.entropy = _seed_entropy(seed)
+
+        # Small shared state (prototypes, offsets) is drawn eagerly; the
+        # per-group noise substreams are re-derived fresh on every
+        # iteration from the stored entropy (``SeedSequence.spawn`` is
+        # stateful, so reusing one sequence would desynchronise passes).
+        proto_ss, offset_ss, _ = np.random.SeedSequence(self.entropy).spawn(3)
+        self._prototypes = _gesture_prototypes(
+            np.random.default_rng(proto_ss), self.spec, self.num_gestures,
+            self._num_latent,
+        )
+        self._offsets = np.random.default_rng(offset_ss).normal(
+            0.0, sigma, size=(len(SURGEONS), self._num_latent)
+        )
+        train_idx = SURGEONS.index(train_surgeon)
+        self._surgeons = (
+            [train_idx]
+            if self.part == "train"
+            else [i for i in range(len(SURGEONS)) if i != train_idx]
+        )
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Total rows this part will stream."""
+        return len(self._surgeons) * self.num_gestures * self.samples_per_gesture
+
+    @property
+    def num_features(self) -> int:
+        """Record width (channels)."""
+        return self.num_channels
+
+    @property
+    def num_classes(self) -> int:
+        """Number of gesture classes."""
+        return self.num_gestures
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        """Provenance carried on every chunk."""
+        return {
+            "name": f"jigsaws-stream/{self.task}",
+            "task": self.task,
+            "num_gestures": self.num_gestures,
+            "num_channels": self.num_channels,
+            "samples_per_gesture": self.samples_per_gesture,
+            "train_surgeon": self.train_surgeon,
+            "surgeon_sigma": self.surgeon_sigma,
+            "feature_kind": self.features,
+            "feature_range": (-1.0, 1.0)
+            if self.features == "rotation_matrix"
+            else (0.0, TWO_PI),
+            "entropy": self.entropy,
+        }
+
+    # -- generation ------------------------------------------------------------
+    def _groups(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(features, labels)`` per (surgeon, gesture) group.
+
+        The noise substream grid is keyed by the group's index in the
+        *full* surgeon × gesture enumeration, so the train and test
+        parts of one seed are disjoint pieces of the same virtual
+        dataset.
+        """
+        noise_ss = np.random.SeedSequence(self.entropy).spawn(3)[2]
+        children = noise_ss.spawn(len(SURGEONS) * self.num_gestures)
+        n = self.samples_per_gesture
+        for s_idx in self._surgeons:
+            for gesture in range(self.num_gestures):
+                rng = np.random.default_rng(
+                    children[s_idx * self.num_gestures + gesture]
+                )
+                sample = _group_samples(
+                    self._prototypes[gesture],
+                    self._offsets[s_idx],
+                    self.spec.kappa,
+                    n,
+                    rng,
+                    self.features,
+                )
+                yield sample, np.full(n, gesture, dtype=np.int64)
+
+    def _group_chunks(self) -> Iterator[Chunk]:
+        start = 0
+        meta = self.meta
+        for sample, labels in self._groups():
+            yield Chunk(
+                features=sample, targets=labels, start=start, split=self.part,
+                meta=meta,
+            )
+            start += sample.shape[0]
+
+    def __iter__(self) -> Iterator[Chunk]:
+        inner = _GroupIterable(self._group_chunks)
+        yield from rechunk(inner, self.chunk_size)
+
+    def materialize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate this part back into ``(features, labels)`` arrays."""
+        chunks = list(self)
+        return (
+            np.concatenate([c.features for c in chunks], axis=0),
+            np.concatenate([np.asarray(c.targets) for c in chunks], axis=0),
+        )
+
+    def to_split(self) -> ClassificationSplit:
+        """Materialise train *and* test parts into one container.
+
+        Both parts are re-derived from this stream's entropy, so the
+        container equals what any chunking of the two part streams would
+        produce.
+        """
+        train = self if self.part == "train" else self.with_part("train")
+        test = self if self.part == "test" else self.with_part("test")
+        train_x, train_y = train.materialize()
+        test_x, test_y = test.materialize()
+        return ClassificationSplit(
+            train_features=train_x,
+            train_labels=train_y,
+            test_features=test_x,
+            test_labels=test_y,
+            metadata=self.meta,
+        )
+
+    def with_part(self, part: str) -> "JigsawsStream":
+        return JigsawsStream(
+            task=self.task,
+            part=part,
+            chunk_size=self.chunk_size,
+            seed=np.random.SeedSequence(self.entropy),
+            samples_per_gesture=self.samples_per_gesture,
+            num_gestures=self.num_gestures,
+            num_channels=self.num_channels,
+            train_surgeon=self.train_surgeon,
+            surgeon_sigma=self.surgeon_sigma,
+            features=self.features,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JigsawsStream(task={self.task!r}, part={self.part!r}, "
+            f"rows={self.num_rows}, chunk_size={self.chunk_size})"
+        )
+
+
+class _GroupIterable:
+    """Adapter giving a generator function the ChunkSource protocol."""
+
+    def __init__(self, make_iter) -> None:
+        self._make_iter = make_iter
+
+    def __iter__(self) -> Iterator[Chunk]:
+        return self._make_iter()
+
+
+#: Rows per telemetry generation block (the fixed RNG grid of
+#: :class:`MarsExpressStream`, independent of the serving chunk size).
+MARS_BLOCK_ROWS = 4096
+
+
+class MarsExpressStream:
+    """Out-of-core orbital-power telemetry stream.
+
+    Generates the :func:`~repro.datasets.mars_power_curve` workload in
+    fixed blocks of :data:`MARS_BLOCK_ROWS` samples; block ``j`` draws
+    from ``SeedSequence`` child ``j``, so the stream is bit-identical
+    for any ``chunk_size`` and any number of passes.  The random 70/30
+    train/test split is decided per row from a parallel substream grid,
+    which is the streaming analogue of the monolithic generator's global
+    permutation: every row lands in exactly one part, and both part
+    streams of one seed partition the same virtual telemetry.
+
+    Unlike the monolithic generator, samples are *not* globally sorted
+    by time (a global sort cannot stream); training is order-independent
+    so this changes nothing downstream.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> s = MarsExpressStream(num_samples=1000, seed=3, chunk_size=128)
+    >>> x, y = s.materialize()
+    >>> x2, _ = MarsExpressStream(num_samples=1000, seed=3, chunk_size=7).materialize()
+    >>> bool(np.array_equal(x, x2))
+    True
+    >>> lo, hi = s.label_range()
+    >>> bool(lo < y.min() < y.max() < hi)
+    True
+    """
+
+    def __init__(
+        self,
+        part: str = "train",
+        chunk_size: int = DEFAULT_CHUNK_ROWS,
+        num_samples: int = 2500,
+        num_orbits: float = 3.0,
+        noise_sigma: float = 15.0,
+        train_fraction: float = 0.7,
+        seed=None,
+        **curve_params,
+    ) -> None:
+        if num_samples < 4:
+            raise InvalidParameterError(f"need at least 4 samples, got {num_samples}")
+        if num_orbits <= 0:
+            raise InvalidParameterError(f"num_orbits must be positive, got {num_orbits}")
+        if noise_sigma < 0:
+            raise InvalidParameterError(
+                f"noise_sigma must be non-negative, got {noise_sigma}"
+            )
+        if not 0.0 < train_fraction < 1.0:
+            raise InvalidParameterError(
+                f"train_fraction must lie in (0, 1), got {train_fraction}"
+            )
+        iter_slices(0, chunk_size)  # validate chunk_size
+        self.part = _check_part(part)
+        self.chunk_size = int(chunk_size)
+        self.num_samples = int(num_samples)
+        self.num_orbits = float(num_orbits)
+        self.noise_sigma = float(noise_sigma)
+        self.train_fraction = float(train_fraction)
+        self.curve_params = dict(curve_params)
+        self.entropy = _seed_entropy(seed)
+        self._blocks = iter_slices(self.num_samples, MARS_BLOCK_ROWS)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def num_features(self) -> int:
+        """Record width: one column, the mean anomaly."""
+        return 1
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        """Provenance carried on every chunk."""
+        return {
+            "name": "mars-express-stream",
+            "num_samples": self.num_samples,
+            "num_orbits": self.num_orbits,
+            "noise_sigma": self.noise_sigma,
+            "train_fraction": self.train_fraction,
+            "entropy": self.entropy,
+            **{f"curve_{k}": v for k, v in self.curve_params.items()},
+        }
+
+    def label_range(self) -> tuple[float, float]:
+        """Conservative power range covering every possible label.
+
+        The curve extrema over a dense anomaly grid, widened by five
+        noise standard deviations — what the label embedding of a
+        streaming regression pipeline covers *without* a first pass over
+        the data (a streaming source cannot know its empirical min/max
+        up front).
+        """
+        grid = np.linspace(0.0, TWO_PI, 4096)
+        curve = mars_power_curve(grid, **self.curve_params)
+        margin = 5.0 * self.noise_sigma
+        return float(curve.min() - margin), float(curve.max() + margin)
+
+    # -- generation ------------------------------------------------------------
+    def _block_rows(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield this part's ``(features, power)`` rows per block."""
+        # Fresh sequences per pass: SeedSequence.spawn is stateful.
+        sample_ss_root, split_ss_root = np.random.SeedSequence(self.entropy).spawn(2)
+        sample_children = sample_ss_root.spawn(len(self._blocks))
+        split_children = split_ss_root.spawn(len(self._blocks))
+        for (lo, hi), sample_ss, split_ss in zip(
+            self._blocks, sample_children, split_children
+        ):
+            rows = hi - lo
+            rng = np.random.default_rng(sample_ss)
+            times = rng.uniform(0.0, self.num_orbits, size=rows)
+            anomaly = np.mod(times * TWO_PI, TWO_PI)
+            power = mars_power_curve(anomaly, **self.curve_params)
+            power = power + rng.normal(0.0, self.noise_sigma, size=rows)
+            in_train = (
+                np.random.default_rng(split_ss).random(rows) < self.train_fraction
+            )
+            keep = in_train if self.part == "train" else ~in_train
+            if np.any(keep):
+                yield anomaly[keep][:, None], power[keep]
+
+    def _block_chunks(self) -> Iterator[Chunk]:
+        start = 0
+        meta = self.meta
+        for features, power in self._block_rows():
+            yield Chunk(
+                features=features, targets=power, start=start, split=self.part,
+                meta=meta,
+            )
+            start += features.shape[0]
+
+    def __iter__(self) -> Iterator[Chunk]:
+        inner = _GroupIterable(self._block_chunks)
+        yield from rechunk(inner, self.chunk_size)
+
+    def materialize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate this part back into ``(features, power)`` arrays."""
+        chunks = list(self)
+        return (
+            np.concatenate([c.features for c in chunks], axis=0),
+            np.concatenate([np.asarray(c.targets) for c in chunks], axis=0),
+        )
+
+    def to_split(self) -> RegressionSplit:
+        """Materialise both parts into one in-memory container."""
+        train = self if self.part == "train" else self.with_part("train")
+        test = self if self.part == "test" else self.with_part("test")
+        train_x, train_y = train.materialize()
+        test_x, test_y = test.materialize()
+        return RegressionSplit(
+            train_features=train_x,
+            train_labels=train_y,
+            test_features=test_x,
+            test_labels=test_y,
+            metadata={**self.meta, "feature_names": ["mean_anomaly"]},
+        )
+
+    def with_part(self, part: str) -> "MarsExpressStream":
+        return MarsExpressStream(
+            part=part,
+            chunk_size=self.chunk_size,
+            num_samples=self.num_samples,
+            num_orbits=self.num_orbits,
+            noise_sigma=self.noise_sigma,
+            train_fraction=self.train_fraction,
+            seed=np.random.SeedSequence(self.entropy),
+            **self.curve_params,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MarsExpressStream(part={self.part!r}, samples={self.num_samples}, "
+            f"chunk_size={self.chunk_size})"
+        )

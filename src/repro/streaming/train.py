@@ -1,0 +1,402 @@
+"""Out-of-core training drivers: chunk sources in, served pipelines out.
+
+The glue between the streaming core (:mod:`repro.streaming.reduce`) and
+the product surfaces: typed ``stream_fit`` / ``stream_score`` drivers
+for both model families, and :func:`train_pipeline_stream`, the
+``train --stream`` CLI's engine — it mirrors the in-memory
+:func:`repro.experiments.serving.train_pipeline` cell (same seeding
+discipline, same serve-time ``"zeros"`` tie policy) but trains from a
+:class:`~repro.streaming.ChunkSource`, so the training set never has to
+fit in RAM, and can drop an atomic checkpoint every few chunks while it
+runs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Callable, Union
+
+import numpy as np
+
+from .._rng import ensure_rng
+from ..basis.base import Embedding
+from ..basis.level import LevelBasis
+from ..basis.quantize import LinearDiscretizer
+from ..exceptions import InvalidParameterError
+from ..hdc.hypervector import random_hypervectors
+from ..learning.classifier import CentroidClassifier
+from ..learning.metrics import mean_squared_error
+from ..learning.regression import HDRegressor
+from ..runtime.batch import BatchEncoder
+from ..runtime.pool import WorkerPool
+from .chunks import DEFAULT_CHUNK_ROWS, Chunk, ChunkSource
+from .reduce import StreamStats, encode_reduce, stream_encode
+from .sources import JigsawsStream, MarsExpressStream
+
+__all__ = [
+    "checkpointer",
+    "stream_fit_classifier",
+    "stream_fit_regressor",
+    "stream_score_classifier",
+    "stream_score_regressor",
+    "train_pipeline_stream",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+class _CountingSource:
+    """Pass-through ChunkSource that tallies the rows it yields."""
+
+    def __init__(self, source: ChunkSource) -> None:
+        self.source = source
+        self.rows = 0
+
+    def __iter__(self):
+        for chunk in self.source:
+            self.rows += chunk.rows
+            yield chunk
+
+
+def _record_encode(
+    encoder: BatchEncoder,
+    seed: Union[int, None],
+    pool: WorkerPool | None,
+) -> Callable[[Chunk], object]:
+    return lambda chunk: stream_encode(
+        encoder, chunk.features, start=chunk.start, seed=seed, packed=True, pool=pool
+    )
+
+
+def _value_encode(embedding: Embedding, column: int = 0) -> Callable[[Chunk], object]:
+    return lambda chunk: embedding.encode_packed(
+        np.asarray(chunk.features, dtype=np.float64)[:, column]
+    )
+
+
+def stream_fit_classifier(
+    classifier: CentroidClassifier,
+    encoder: BatchEncoder,
+    source: ChunkSource,
+    seed: Union[int, None] = 0,
+    pool: WorkerPool | None = None,
+    on_chunk: Callable[[StreamStats], None] | None = None,
+) -> StreamStats:
+    """Train a centroid classifier from a chunk stream, O(chunk) memory.
+
+    Each chunk is encoded with :func:`~repro.streaming.stream_encode`
+    (position-keyed ties under ``seed``) and reduced straight into the
+    classifier's accumulators — **bit-identical to a monolithic**
+    ``classifier.fit(stream_encode(encoder, all_features), labels)``
+    for every chunk size and worker count.
+
+    >>> import numpy as np
+    >>> from repro.basis import CircularBasis
+    >>> from repro.streaming import JigsawsStream
+    >>> stream = JigsawsStream("knot_tying", seed=0, chunk_size=64)
+    >>> emb = CircularBasis(16, 256, seed=1).circular_embedding(period=TWO_PI)
+    >>> enc = BatchEncoder(random_hypervectors(18, 256, seed=2), emb)
+    >>> clf = CentroidClassifier(256, tie_break="zeros")
+    >>> stream_fit_classifier(clf, enc, stream).rows
+    300
+    >>> sorted(clf.classes) == list(range(15))
+    True
+    """
+    return encode_reduce(
+        classifier, source, _record_encode(encoder, seed, pool), on_chunk=on_chunk
+    )
+
+
+def stream_fit_regressor(
+    model: HDRegressor,
+    embedding: Embedding,
+    source: ChunkSource,
+    column: int = 0,
+    on_chunk: Callable[[StreamStats], None] | None = None,
+) -> StreamStats:
+    """Train an HD regressor from a chunk stream, O(chunk) memory.
+
+    Single-feature pipelines (the Mars Express shape): ``column`` of
+    each chunk is embedded through the value basis and reduced into the
+    model bundle — bit-identical to one monolithic ``fit`` for any
+    chunking (the embedding gather has no tie randomness at all).
+
+    >>> import numpy as np
+    >>> from repro.basis import LevelBasis
+    >>> from repro.streaming.chunks import array_chunks
+    >>> emb = LevelBasis(8, 64, seed=0).linear_embedding(0.0, 1.0)
+    >>> y = np.linspace(0.0, 1.0, 12)
+    >>> model = HDRegressor(emb, tie_break="zeros")
+    >>> stream_fit_regressor(model, emb, array_chunks(y[:, None], y, chunk_size=5)).rows
+    12
+    """
+    return encode_reduce(
+        model, source, _value_encode(embedding, column), on_chunk=on_chunk
+    )
+
+
+def stream_score_classifier(
+    classifier: CentroidClassifier,
+    encoder: BatchEncoder,
+    source: ChunkSource,
+    seed: Union[int, None] = 0,
+    pool: WorkerPool | None = None,
+    backend: str | None = None,
+) -> float:
+    """Accuracy over a labelled chunk stream, never materialising it.
+
+    Encodes and predicts chunk by chunk, accumulating the running
+    correct count — the held-out metric of a model too big to score in
+    one batch.  Equals the in-memory
+    :meth:`~repro.learning.classifier.CentroidClassifier.score` on the
+    concatenated stream exactly (same encode, same kernel scan, and
+    accuracy is a pure count).
+    """
+    correct = 0
+    total = 0
+    encode = _record_encode(encoder, seed, pool)
+    for chunk in source:
+        if chunk.targets is None:
+            raise InvalidParameterError("scoring needs labelled chunks")
+        predictions = classifier.predict(encode(chunk), backend=backend)
+        labels = np.asarray(chunk.targets).tolist()
+        correct += sum(p == t for p, t in zip(predictions, labels))
+        total += chunk.rows
+    if total == 0:
+        raise InvalidParameterError("cannot score an empty stream")
+    return correct / total
+
+
+def stream_score_regressor(
+    model: HDRegressor,
+    embedding: Embedding,
+    source: ChunkSource,
+    column: int = 0,
+    backend: str | None = None,
+) -> float:
+    """Mean squared error over a chunk stream, never materialising it.
+
+    Accumulates per-chunk squared-error sums; equals the in-memory
+    :meth:`~repro.learning.regression.HDRegressor.score` on the
+    concatenated stream up to float summation order (documented — the
+    chunk partial sums are added in stream order).
+    """
+    sq_sum = 0.0
+    total = 0
+    encode = _value_encode(embedding, column)
+    for chunk in source:
+        if chunk.targets is None:
+            raise InvalidParameterError("scoring needs labelled chunks")
+        predictions = model.predict(encode(chunk), backend=backend)
+        y = np.asarray(chunk.targets, dtype=np.float64)
+        sq_sum += float(mean_squared_error(y, predictions)) * chunk.rows
+        total += chunk.rows
+    if total == 0:
+        raise InvalidParameterError("cannot score an empty stream")
+    return sq_sum / total
+
+
+def checkpointer(
+    pipeline,
+    path: Union[str, os.PathLike],
+    every: int = 1,
+) -> Callable[[StreamStats], None]:
+    """An ``on_chunk`` hook that atomically checkpoints the pipeline.
+
+    Every ``every`` reduced chunks the full pipeline (model state
+    included) is written through
+    :func:`~repro.serve.persist.save_model`'s write-to-temp-then-rename
+    protocol, so a crash mid-stream always leaves the last complete
+    checkpoint on disk — resume by loading it and streaming the
+    remaining chunks.
+    """
+    if every < 1:
+        raise InvalidParameterError(f"checkpoint interval must be positive, got {every}")
+
+    def hook(stats: StreamStats) -> None:
+        if stats.chunks % every == 0:
+            from ..serve.persist import save_model
+
+            save_model(pipeline, path)
+
+    return hook
+
+
+def train_pipeline_stream(
+    task: str,
+    basis_kind: str = "circular",
+    config=None,
+    stream_samples: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_ROWS,
+    workers: int = 1,
+    checkpoint: Union[str, os.PathLike, None] = None,
+    checkpoint_every: int = 8,
+):
+    """Train a servable pipeline from a synthetic stream (``train --stream``).
+
+    The out-of-core counterpart of
+    :func:`repro.experiments.serving.train_pipeline`: the same seeding
+    discipline (four spawned substreams of ``config.seed``), the same
+    serve-time ``"zeros"`` encode policy, the same held-out metric in
+    the metadata — but the training split is a
+    :class:`~repro.streaming.JigsawsStream` /
+    :class:`~repro.streaming.MarsExpressStream` consumed chunk by
+    chunk, so ``stream_samples`` can exceed RAM.  With ``checkpoint``
+    set, an atomic snapshot of the partially trained pipeline lands
+    every ``checkpoint_every`` chunks.
+
+    Parameters
+    ----------
+    task:
+        A gesture task (classification) or ``"mars_express"``.
+    stream_samples:
+        Total training rows to stream (classification: rounded up to
+        whole per-gesture groups).  ``None`` keeps the generator's
+        paper-scale default.
+    chunk_size:
+        Rows per streamed chunk — the memory knob: peak RAM is
+        O(chunk), independent of ``stream_samples``.
+    workers:
+        Worker threads for the per-chunk encode count phase
+        (bit-identical for any value).
+
+    Returns
+    -------
+    (TrainedPipeline, StreamStats)
+        The trained servable pipeline (metadata records the streaming
+        provenance) and what the pass consumed.
+
+    Example
+    -------
+    >>> from repro.experiments.config import ClassificationConfig
+    >>> pipe, stats = train_pipeline_stream(
+    ...     "suturing", "circular",
+    ...     config=ClassificationConfig(dim=256, seed=7), chunk_size=128)
+    >>> pipe.kind, stats.rows
+    ('classification', 300)
+    >>> pipe.metadata["stream"]["chunk_size"]
+    128
+    """
+    # Imported lazily: repro.experiments pulls in the whole driver stack
+    # (and repro.runtime imports repro.streaming.chunks), so a module
+    # level import here would create a package cycle.
+    from ..experiments.classification import BASIS_KINDS, _value_embedding
+    from ..experiments.config import ClassificationConfig, RegressionConfig
+    from ..experiments.regression import _feature_embedding
+    from ..serve.pipeline import TrainedPipeline
+
+    if basis_kind not in BASIS_KINDS:
+        raise InvalidParameterError(
+            f"basis_kind must be one of {BASIS_KINDS}, got {basis_kind!r}"
+        )
+    if task == "mars_express":
+        config = config or RegressionConfig()
+        if not isinstance(config, RegressionConfig):
+            raise InvalidParameterError("mars_express needs a RegressionConfig")
+        master = ensure_rng(config.seed)
+        data_rng, anomaly_rng, label_rng, tie_rng = master.spawn(4)
+        train_stream = MarsExpressStream(
+            part="train",
+            chunk_size=chunk_size,
+            num_samples=stream_samples or 2500,
+            seed=np.random.SeedSequence(int(data_rng.integers(0, 2**63))),
+        )
+        test_stream = train_stream.with_part("test")
+        anomaly_embedding = _feature_embedding(
+            basis_kind, config.anomaly_levels, TWO_PI, config, anomaly_rng
+        )
+        low, high = train_stream.label_range()
+        label_embedding = Embedding(
+            LevelBasis(config.label_levels, config.dim, seed=label_rng),
+            LinearDiscretizer(low, high, config.label_levels, clip=True),
+        )
+        model = HDRegressor(
+            label_embedding, seed=tie_rng, decode=config.decode, model=config.model
+        )
+        pipeline = TrainedPipeline(
+            kind="regression",
+            model=model,
+            embedding=anomaly_embedding,
+            keys=None,
+            tie_break="zeros",
+            encode_seed=None,
+            metadata={"task": task, "basis_kind": basis_kind, "dim": config.dim,
+                      "seed": config.seed},
+        )
+        hook = (
+            checkpointer(pipeline, checkpoint, checkpoint_every)
+            if checkpoint is not None
+            else None
+        )
+        stats = stream_fit_regressor(
+            model, anomaly_embedding, train_stream, on_chunk=hook
+        )
+        # Count the held-out rows on the scoring pass itself — a second
+        # pass over the stream would regenerate all the telemetry.
+        counted = _CountingSource(test_stream)
+        mse = stream_score_regressor(model, anomaly_embedding, counted)
+        num_test = counted.rows
+        pipeline.metadata.update(
+            num_train=stats.rows,
+            num_test=num_test,
+            test_mse=float(mse),
+            stream={"chunk_size": chunk_size, "chunks": stats.chunks,
+                    "entropy": train_stream.entropy},
+        )
+    else:
+        config = config or ClassificationConfig()
+        if not isinstance(config, ClassificationConfig):
+            raise InvalidParameterError(f"{task} needs a ClassificationConfig")
+        master = ensure_rng(config.seed)
+        data_rng, basis_rng, key_rng, tie_rng = master.spawn(4)
+        per_gesture = None
+        if stream_samples is not None:
+            per_gesture = max(1, -(-int(stream_samples) // 15))
+        train_stream = JigsawsStream(
+            task=task,
+            part="train",
+            chunk_size=chunk_size,
+            seed=np.random.SeedSequence(int(data_rng.integers(0, 2**63))),
+            samples_per_gesture=per_gesture,
+        )
+        test_stream = train_stream.with_part("test")
+        low, high = train_stream.meta["feature_range"]
+        embedding = _value_embedding(basis_kind, config, basis_rng, low=low, high=high)
+        keys = random_hypervectors(train_stream.num_features, config.dim, seed=key_rng)
+        # Serve-time policy end to end: "zeros" ties, so the streamed
+        # encode equals the serving engine's encode bit for bit.
+        encoder = BatchEncoder(keys, embedding, tie_break="zeros")
+        classifier = CentroidClassifier(config.dim, seed=tie_rng)
+        pipeline = TrainedPipeline(
+            kind="classification",
+            model=classifier,
+            embedding=embedding,
+            keys=keys,
+            tie_break="zeros",
+            encode_seed=None,
+            metadata={"task": task, "basis_kind": basis_kind, "dim": config.dim,
+                      "seed": config.seed},
+        )
+        hook = (
+            checkpointer(pipeline, checkpoint, checkpoint_every)
+            if checkpoint is not None
+            else None
+        )
+        with WorkerPool(workers=workers) as pool:
+            stats = stream_fit_classifier(
+                classifier, encoder, train_stream, pool=pool, on_chunk=hook
+            )
+            acc = stream_score_classifier(classifier, encoder, test_stream, pool=pool)
+        pipeline.metadata.update(
+            num_train=stats.rows,
+            num_test=test_stream.num_rows,
+            test_accuracy=float(acc),
+            stream={"chunk_size": chunk_size, "chunks": stats.chunks,
+                    "entropy": train_stream.entropy},
+        )
+    if checkpoint is not None:
+        from ..serve.persist import save_model
+
+        save_model(pipeline, checkpoint)
+    return pipeline, stats

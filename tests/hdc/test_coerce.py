@@ -1,0 +1,87 @@
+"""Tests for the shared packed/unpacked coercion helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.hdc.coerce import (
+    any_packed,
+    as_encoded_batch,
+    as_packed_batch,
+    batch_rows,
+)
+from repro.hdc.packed import PackedHV, is_packed
+
+
+class TestAsEncodedBatch:
+    def test_unpacked_stays_unpacked(self):
+        arr = np.zeros((3, 16), dtype=np.uint8)
+        out = as_encoded_batch(arr, 16)
+        assert out is arr
+
+    def test_single_promoted(self):
+        out = as_encoded_batch(np.zeros(16, dtype=np.uint8), 16)
+        assert out.shape == (1, 16)
+
+    def test_packed_stays_packed(self):
+        packed = PackedHV.pack(np.zeros((3, 16), dtype=np.uint8))
+        out = as_encoded_batch(packed, 16)
+        assert is_packed(out) and out.shape == (3, 16)
+
+    def test_packed_single_promoted(self):
+        packed = PackedHV.pack(np.zeros(16, dtype=np.uint8))
+        out = as_encoded_batch(packed, 16)
+        assert out.shape == (1, 16)
+
+    def test_dim_checked(self):
+        with pytest.raises(DimensionMismatchError):
+            as_encoded_batch(np.zeros((3, 8), dtype=np.uint8), 16, "test")
+        with pytest.raises(DimensionMismatchError):
+            as_encoded_batch(PackedHV.pack(np.zeros(8, dtype=np.uint8)), 16)
+
+    def test_bad_rank(self):
+        with pytest.raises(InvalidParameterError):
+            as_encoded_batch(np.zeros((2, 3, 8), dtype=np.uint8))
+
+
+class TestAsPackedBatch:
+    def test_packs_unpacked(self):
+        batch, single = as_packed_batch(np.zeros((4, 16), dtype=np.uint8), 16)
+        assert is_packed(batch) and not single and batch.shape == (4, 16)
+
+    def test_single_flag(self):
+        batch, single = as_packed_batch(np.zeros(16, dtype=np.uint8), 16)
+        assert single and batch.shape == (1, 16)
+
+    def test_packed_passthrough(self):
+        packed = PackedHV.pack(np.zeros((4, 16), dtype=np.uint8))
+        batch, single = as_packed_batch(packed)
+        assert batch is packed and not single
+
+    def test_dim_checked(self):
+        with pytest.raises(DimensionMismatchError):
+            as_packed_batch(np.zeros(8, dtype=np.uint8), 16, "ctx")
+
+
+class TestBatchRows:
+    def test_counts_both_representations(self):
+        arr = np.zeros((5, 16), dtype=np.uint8)
+        assert batch_rows(arr) == 5
+        assert batch_rows(PackedHV.pack(arr)) == 5
+
+    def test_rejects_single(self):
+        with pytest.raises(InvalidParameterError):
+            batch_rows(np.zeros(16, dtype=np.uint8))
+        with pytest.raises(InvalidParameterError):
+            batch_rows(PackedHV.pack(np.zeros(16, dtype=np.uint8)))
+
+
+class TestAnyPacked:
+    def test_detects_membership(self):
+        unpacked = np.zeros(8, dtype=np.uint8)
+        packed = PackedHV.pack(unpacked)
+        assert not any_packed([unpacked, unpacked])
+        assert any_packed([unpacked, packed])
+        assert not any_packed([])

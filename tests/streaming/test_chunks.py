@@ -1,0 +1,121 @@
+"""Tests for the chunk protocol and the container/array adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_jigsaws_like, make_mars_express_like
+from repro.exceptions import InvalidParameterError
+from repro.streaming import (
+    Chunk,
+    ChunkSource,
+    array_chunks,
+    iter_slices,
+    rechunk,
+    split_chunks,
+)
+
+
+class TestIterSlices:
+    def test_covers_range_exactly(self):
+        assert iter_slices(7, 3) == [(0, 3), (3, 6), (6, 7)]
+        assert iter_slices(6, 3) == [(0, 3), (3, 6)]
+        assert iter_slices(0, 3) == []
+
+    def test_validates(self):
+        with pytest.raises(InvalidParameterError):
+            iter_slices(5, 0)
+        with pytest.raises(InvalidParameterError):
+            iter_slices(-1, 3)
+
+    @pytest.mark.parametrize("total,size", [(1, 1), (100, 7), (64, 64), (3, 100)])
+    def test_partition_property(self, total, size):
+        bounds = iter_slices(total, size)
+        assert bounds[0][0] == 0 and bounds[-1][1] == total
+        for (a, b), (c, _) in zip(bounds, bounds[1:]):
+            assert b == c and b - a == size
+        assert all(b - a <= size for a, b in bounds)
+
+
+class TestChunk:
+    def test_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Chunk(features=np.zeros(4))
+        with pytest.raises(InvalidParameterError):
+            Chunk(features=np.zeros((4, 2)), targets=np.zeros(3))
+
+    def test_positions(self):
+        chunk = Chunk(features=np.zeros((4, 2)), start=10)
+        assert (chunk.rows, chunk.start, chunk.stop) == (4, 10, 14)
+
+
+class TestArrayChunks:
+    def test_round_trips_rows(self):
+        x = np.arange(20.0).reshape(10, 2)
+        y = np.arange(10)
+        for size in (1, 3, 10, 99):
+            src = array_chunks(x, y, chunk_size=size)
+            assert isinstance(src, ChunkSource)
+            chunks = list(src)
+            assert np.array_equal(np.concatenate([c.features for c in chunks]), x)
+            assert np.array_equal(np.concatenate([c.targets for c in chunks]), y)
+            assert [c.start for c in chunks] == list(range(0, 10, size))[: len(chunks)]
+
+    def test_slices_are_views(self):
+        x = np.arange(20.0).reshape(10, 2)
+        chunk = next(iter(array_chunks(x, chunk_size=4)))
+        assert np.shares_memory(chunk.features, x)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            array_chunks(np.zeros(4))
+        with pytest.raises(InvalidParameterError):
+            array_chunks(np.zeros((4, 2)), np.zeros(3))
+        with pytest.raises(InvalidParameterError):
+            array_chunks(np.zeros((4, 2)), chunk_size=0)
+
+
+class TestSplitChunks:
+    def test_classification_parts(self):
+        split = make_jigsaws_like("knot_tying", seed=0)
+        train = split_chunks(split, "train", chunk_size=64)
+        test = split_chunks(split, "test", chunk_size=64)
+        assert train.num_rows == split.train_features.shape[0]
+        assert test.num_rows == split.test_features.shape[0]
+        got = np.concatenate([c.features for c in train])
+        assert np.array_equal(got, split.train_features)
+        first = next(iter(train))
+        assert first.meta["task"] == "knot_tying"
+        assert first.split == "train"
+
+    def test_regression_part(self):
+        split = make_mars_express_like(num_samples=100, seed=1)
+        src = split_chunks(split, "test", chunk_size=7)
+        labels = np.concatenate([c.targets for c in src])
+        assert np.array_equal(labels, split.test_labels)
+
+    def test_bad_part(self):
+        split = make_mars_express_like(num_samples=100, seed=1)
+        with pytest.raises(InvalidParameterError):
+            split_chunks(split, "validate")
+
+
+class TestRechunk:
+    @pytest.mark.parametrize("inner,outer", [(3, 5), (5, 3), (4, 4), (10, 1), (1, 10)])
+    def test_preserves_rows_and_positions(self, inner, outer):
+        x = np.arange(26.0).reshape(13, 2)
+        y = np.arange(13)
+        src = rechunk(array_chunks(x, y, chunk_size=inner), outer)
+        chunks = list(src)
+        assert np.array_equal(np.concatenate([c.features for c in chunks]), x)
+        assert np.array_equal(np.concatenate([c.targets for c in chunks]), y)
+        # absolute positions survive the re-slicing
+        for c in chunks:
+            assert np.array_equal(c.features, x[c.start:c.stop])
+        assert all(c.rows == outer for c in chunks[:-1])
+
+    def test_passthrough_attributes(self):
+        src = rechunk(array_chunks(np.zeros((8, 2)), chunk_size=2), 3)
+        assert src.num_rows == 8
+        assert src.num_features == 2

@@ -1,0 +1,124 @@
+"""Subprocess smoke tests for ``train --stream`` and ``serve --stream``."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_cli(args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=600,
+    )
+
+
+@pytest.fixture(scope="module")
+def stream_model(tmp_path_factory):
+    """One streamed classification model shared by the serve tests."""
+    workdir = tmp_path_factory.mktemp("stream-cli")
+    result = _run_cli(
+        [
+            "train", "--stream", "--out", "model.npz", "--task", "suturing",
+            "--dim", "512", "--seed", "11", "--stream-samples", "300",
+            "--chunk-size", "64", "--checkpoint", "ckpt.npz",
+        ],
+        workdir,
+    )
+    assert result.returncode == 0, result.stderr
+    return workdir, result
+
+
+class TestTrainStream:
+    def test_reports_streaming_and_writes_artifacts(self, stream_model):
+        workdir, result = stream_model
+        assert "streamed 300 rows" in result.stdout
+        assert "peak memory O(chunk)" in result.stdout
+        assert (workdir / "model.npz").exists()
+        # the final checkpoint equals the saved model's state
+        assert (workdir / "ckpt.npz").exists()
+
+    def test_stream_regression(self, tmp_path):
+        result = _run_cli(
+            [
+                "train", "--stream", "--out", "mars.npz", "--task", "mars_express",
+                "--dim", "512", "--stream-samples", "500", "--chunk-size", "100",
+            ],
+            tmp_path,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "regression" in result.stdout
+        assert (tmp_path / "mars.npz").exists()
+
+    def test_chunk_size_flag_validated(self, tmp_path):
+        result = _run_cli(
+            ["train", "--stream", "--out", "m.npz", "--chunk-size", "0"], tmp_path
+        )
+        assert result.returncode != 0
+        assert "--chunk-size" in result.stderr
+
+
+class TestServeStream:
+    def test_learn_and_predict_in_order(self, stream_model):
+        workdir, _ = stream_model
+        record = [1.0] * 18
+        lines = [
+            json.dumps({"features": record}),
+            json.dumps({"features": record, "target": 3}),
+            json.dumps({"features": record}),
+        ]
+        (workdir / "reqs.jsonl").write_text("\n".join(lines) + "\n")
+        result = _run_cli(
+            [
+                "serve", "--stream", "--model", "model.npz",
+                "--input", "reqs.jsonl", "--checkpoint", "live.npz",
+                "--checkpoint-every", "1",
+            ],
+            workdir,
+        )
+        assert result.returncode == 0, result.stderr
+        replies = [json.loads(line) for line in result.stdout.splitlines()]
+        assert len(replies) == 3
+        assert "prediction" in replies[0]
+        assert replies[1] == {"learned": True, "num_samples": 301}
+        assert "prediction" in replies[2]
+        assert (workdir / "live.npz").exists()
+        assert "stream-serving" in result.stderr
+
+    def test_target_rejected_without_stream_flag(self, stream_model):
+        workdir, _ = stream_model
+        (workdir / "bad.jsonl").write_text(
+            json.dumps({"features": [1.0] * 18, "target": 3}) + "\n"
+        )
+        result = _run_cli(
+            ["serve", "--model", "model.npz", "--input", "bad.jsonl"], workdir
+        )
+        assert result.returncode != 0
+        assert "--stream" in result.stderr
+
+    def test_non_integer_class_target_rejected(self, stream_model):
+        workdir, _ = stream_model
+        (workdir / "frac.jsonl").write_text(
+            json.dumps({"features": [1.0] * 18, "target": 3.5}) + "\n"
+        )
+        result = _run_cli(
+            ["serve", "--stream", "--model", "model.npz", "--input", "frac.jsonl"],
+            workdir,
+        )
+        assert result.returncode != 0
+        assert "integer class ids" in result.stderr

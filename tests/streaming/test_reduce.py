@@ -1,0 +1,187 @@
+"""Tests for positional tie coins, stream_encode and encode_reduce."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import CircularBasis, LevelBasis
+from repro.exceptions import InvalidParameterError
+from repro.hdc.hypervector import random_hypervectors
+from repro.hdc.ops import majority_from_counts
+from repro.learning import CentroidClassifier, HDRegressor
+from repro.runtime import BatchEncoder, WorkerPool
+from repro.streaming import (
+    array_chunks,
+    encode_reduce,
+    positional_tie_bits,
+    resolve_majority,
+    stream_encode,
+)
+
+TWO_PI = 2.0 * np.pi
+
+
+def make_encoder(dim=128, channels=4, tie_break="random", chunk_size=16):
+    emb = CircularBasis(12, dim, seed=1).circular_embedding(period=TWO_PI)
+    keys = random_hypervectors(channels, dim, seed=2)
+    return BatchEncoder(keys, emb, tie_break=tie_break, chunk_size=chunk_size)
+
+
+class TestPositionalTieBits:
+    def test_row_keyed_not_position_keyed(self):
+        a = positional_tie_bits(7, np.array([3, 5, 9]), 256)
+        b = positional_tie_bits(7, np.array([5]), 256)
+        assert np.array_equal(a[1], b[0])
+
+    def test_seed_sensitivity(self):
+        a = positional_tie_bits(7, np.array([3]), 256)
+        b = positional_tie_bits(8, np.array([3]), 256)
+        assert not np.array_equal(a, b)
+
+    def test_rows_differ(self):
+        bits = positional_tie_bits(0, np.arange(10), 512)
+        assert len({row.tobytes() for row in bits}) == 10
+
+    def test_roughly_fair(self):
+        bits = positional_tie_bits(1, np.arange(100), 1024)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_odd_dims(self):
+        for dim in (1, 63, 64, 65, 1000):
+            bits = positional_tie_bits(3, np.array([0, 1]), dim)
+            assert bits.shape == (2, dim)
+            assert set(np.unique(bits)) <= {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            positional_tie_bits("seed", np.array([0]), 8)
+        with pytest.raises(InvalidParameterError):
+            positional_tie_bits(0, np.array([0]), 0)
+
+
+class TestResolveMajority:
+    @pytest.mark.parametrize("policy", ["zeros", "ones", "alternate"])
+    def test_position_free_policies_delegate(self, policy):
+        counts = np.random.default_rng(0).integers(0, 5, (6, 32))
+        expected = majority_from_counts(counts, 4, tie_break=policy)
+        got = resolve_majority(counts, 4, policy, seed=0, start=17)
+        assert np.array_equal(expected, got)
+
+    def test_random_is_start_keyed(self):
+        counts = np.full((4, 32), 2, dtype=np.int64)  # all ties at total=4
+        a = resolve_majority(counts, 4, "random", seed=5, start=0)
+        b = resolve_majority(counts[2:], 4, "random", seed=5, start=2)
+        assert np.array_equal(a[2:], b)
+
+    def test_non_tied_bits_are_majority(self):
+        counts = np.array([[0, 4, 2, 1, 3]], dtype=np.int64)
+        out = resolve_majority(counts, 4, "random", seed=0, start=0)
+        assert out[0, 0] == 0 and out[0, 1] == 1
+        assert out[0, 3] == 0 and out[0, 4] == 1
+
+
+class TestStreamEncode:
+    @pytest.mark.parametrize("tie_break", ["random", "zeros"])
+    @pytest.mark.parametrize("packed", [True, False])
+    def test_chunking_invariance(self, tie_break, packed):
+        feats = np.random.default_rng(0).uniform(0, TWO_PI, (40, 4))
+        outputs = []
+        for encoder_chunk in (3, 16, 64):
+            enc = make_encoder(tie_break=tie_break, chunk_size=encoder_chunk)
+            whole = stream_encode(enc, feats, seed=11, packed=packed)
+            whole = whole.unpack() if packed else whole
+            outputs.append(whole)
+            for split_at in (1, 7, 25):
+                parts = [
+                    stream_encode(enc, feats[s:s + split_at], start=s, seed=11,
+                                  packed=packed)
+                    for s in range(0, 40, split_at)
+                ]
+                parts = [p.unpack() if packed else p for p in parts]
+                assert np.array_equal(whole, np.concatenate(parts))
+        assert np.array_equal(outputs[0], outputs[1])
+        assert np.array_equal(outputs[0], outputs[2])
+
+    def test_worker_invariance(self):
+        feats = np.random.default_rng(1).uniform(0, TWO_PI, (50, 4))
+        enc = make_encoder(chunk_size=7)
+        serial = stream_encode(enc, feats, seed=3)
+        for workers in (2, 4):
+            with WorkerPool(workers=workers) as pool:
+                parallel = stream_encode(enc, feats, seed=3, pool=pool)
+            assert np.array_equal(serial.unpack(), parallel.unpack())
+
+    def test_draw_free_policies_match_batch_encoder(self):
+        feats = np.random.default_rng(2).uniform(0, TWO_PI, (30, 4))
+        for policy in ("zeros", "ones", "alternate"):
+            enc = make_encoder(tie_break=policy, chunk_size=8)
+            assert np.array_equal(
+                stream_encode(enc, feats, packed=False),
+                enc.encode(feats, packed=False),
+            )
+
+    def test_random_ties_actually_exercised(self):
+        # even channel count -> per-bit ties are common; the positional
+        # coins must differ from the all-zeros resolution
+        feats = np.random.default_rng(3).uniform(0, TWO_PI, (30, 4))
+        enc_rand = make_encoder(tie_break="random")
+        enc_zero = make_encoder(tie_break="zeros")
+        a = stream_encode(enc_rand, feats, seed=5, packed=False)
+        b = stream_encode(enc_zero, feats, packed=False)
+        assert not np.array_equal(a, b)
+
+    def test_empty_batch(self):
+        enc = make_encoder()
+        out = stream_encode(enc, np.empty((0, 4)), packed=False)
+        assert out.shape == (0, enc.dim)
+
+
+class TestEncodeReduce:
+    def test_reduces_into_classifier(self):
+        y = np.arange(20) % 3
+        x = np.random.default_rng(0).uniform(0, TWO_PI, (20, 4))
+        enc = make_encoder(dim=64, tie_break="zeros")
+        src = array_chunks(x, y, chunk_size=6)
+        clf = CentroidClassifier(64, tie_break="zeros")
+        stats = encode_reduce(
+            clf, src, lambda c: stream_encode(enc, c.features, start=c.start)
+        )
+        assert (stats.rows, stats.chunks) == (20, 4)
+        assert clf.num_samples == 20
+        # labels were converted to plain python ints (serialisable)
+        assert all(isinstance(label, int) for label in clf.classes)
+
+    def test_reduces_into_regressor(self):
+        emb = LevelBasis(8, 64, seed=0).linear_embedding(0.0, 1.0)
+        y = np.linspace(0.0, 1.0, 15)
+        model = HDRegressor(emb, tie_break="zeros")
+        stats = encode_reduce(
+            model,
+            array_chunks(y[:, None], y, chunk_size=4),
+            lambda c: emb.encode_packed(c.features[:, 0]),
+        )
+        assert stats.rows == 15
+        assert model.num_samples == 15
+
+    def test_on_chunk_hook_runs_per_chunk(self):
+        emb = LevelBasis(8, 64, seed=0).linear_embedding(0.0, 1.0)
+        y = np.linspace(0.0, 1.0, 12)
+        seen = []
+        encode_reduce(
+            HDRegressor(emb, tie_break="zeros"),
+            array_chunks(y[:, None], y, chunk_size=5),
+            lambda c: emb.encode_packed(c.features[:, 0]),
+            on_chunk=lambda stats: seen.append((stats.chunks, stats.rows)),
+        )
+        assert seen == [(1, 5), (2, 10), (3, 12)]
+
+    def test_rejects_unlabelled_chunks(self):
+        emb = LevelBasis(8, 64, seed=0).linear_embedding(0.0, 1.0)
+        src = array_chunks(np.zeros((4, 1)), chunk_size=2)
+        with pytest.raises(InvalidParameterError):
+            encode_reduce(
+                HDRegressor(emb),
+                src,
+                lambda c: emb.encode_packed(c.features[:, 0]),
+            )

@@ -1,0 +1,121 @@
+"""Tests for the seeded synthetic stream sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import ClassificationSplit, RegressionSplit
+from repro.exceptions import InvalidParameterError
+from repro.streaming import JigsawsStream, MarsExpressStream
+
+
+class TestJigsawsStream:
+    @pytest.mark.parametrize("chunk_size", [1, 17, 64, 10_000])
+    def test_chunk_size_invariance(self, chunk_size):
+        ref_x, ref_y = JigsawsStream("suturing", seed=5, chunk_size=50).materialize()
+        x, y = JigsawsStream("suturing", seed=5, chunk_size=chunk_size).materialize()
+        assert np.array_equal(ref_x, x)
+        assert np.array_equal(ref_y, y)
+
+    def test_repeat_passes_identical(self):
+        stream = JigsawsStream("knot_tying", seed=3, chunk_size=33)
+        x1, y1 = stream.materialize()
+        x2, y2 = stream.materialize()
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    def test_row_counts_and_metadata(self):
+        stream = JigsawsStream("knot_tying", seed=0, samples_per_gesture=7)
+        assert stream.num_rows == 15 * 7
+        assert stream.num_features == 18
+        assert stream.num_classes == 15
+        test = stream.with_part("test")
+        assert test.num_rows == 7 * 15 * 7  # seven held-out surgeons
+        chunk = next(iter(stream))
+        assert chunk.meta["task"] == "knot_tying"
+        assert chunk.split == "train"
+
+    def test_chunks_carry_absolute_positions(self):
+        stream = JigsawsStream("suturing", seed=1, chunk_size=37)
+        x, _ = stream.materialize()
+        for chunk in stream:
+            assert np.array_equal(chunk.features, x[chunk.start:chunk.stop])
+
+    def test_to_split_is_container(self):
+        split = JigsawsStream("suturing", seed=2, samples_per_gesture=4).to_split()
+        assert isinstance(split, ClassificationSplit)
+        assert split.num_classes == 15
+        assert split.train_features.shape == (60, 18)
+        assert split.test_features.shape == (7 * 60, 18)
+        # angles land in [0, 2π)
+        assert split.train_features.min() >= 0.0
+        assert split.train_features.max() < 2.0 * np.pi + 1e-9
+
+    def test_parts_share_the_virtual_dataset(self):
+        train = JigsawsStream("suturing", seed=9, samples_per_gesture=5)
+        # same entropy -> same prototypes/offsets; different surgeons
+        test = train.with_part("test")
+        assert train.entropy == test.entropy
+        x_train, _ = train.materialize()
+        x_test, _ = test.materialize()
+        assert x_train.shape[0] + x_test.shape[0] == 8 * 15 * 5
+
+    def test_generator_seed_is_deterministic(self):
+        a = JigsawsStream("suturing", seed=np.random.default_rng(4)).materialize()
+        b = JigsawsStream("suturing", seed=np.random.default_rng(4)).materialize()
+        assert np.array_equal(a[0], b[0])
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            JigsawsStream("unknown_task")
+        with pytest.raises(InvalidParameterError):
+            JigsawsStream(part="validate")
+        with pytest.raises(InvalidParameterError):
+            JigsawsStream(samples_per_gesture=0)
+        with pytest.raises(InvalidParameterError):
+            JigsawsStream(seed="not-a-seed")
+
+
+class TestMarsExpressStream:
+    @pytest.mark.parametrize("chunk_size", [1, 100, 999, 10_000])
+    def test_chunk_size_invariance(self, chunk_size):
+        ref = MarsExpressStream(num_samples=3000, seed=4, chunk_size=123).materialize()
+        got = MarsExpressStream(
+            num_samples=3000, seed=4, chunk_size=chunk_size
+        ).materialize()
+        assert np.array_equal(ref[0], got[0])
+        assert np.array_equal(ref[1], got[1])
+
+    def test_parts_partition_every_row(self):
+        train = MarsExpressStream(num_samples=5000, seed=7, part="train")
+        test = train.with_part("test")
+        n_train = sum(c.rows for c in train)
+        n_test = sum(c.rows for c in test)
+        assert n_train + n_test == 5000
+        # roughly the configured 70/30 split
+        assert 0.6 < n_train / 5000 < 0.8
+
+    def test_label_range_covers_labels(self):
+        stream = MarsExpressStream(num_samples=4000, seed=2)
+        low, high = stream.label_range()
+        _, power = stream.materialize()
+        assert low < power.min() and power.max() < high
+
+    def test_to_split_is_container(self):
+        split = MarsExpressStream(num_samples=500, seed=3).to_split()
+        assert isinstance(split, RegressionSplit)
+        assert split.train_features.shape[1] == 1
+
+    def test_repeat_passes_identical(self):
+        stream = MarsExpressStream(num_samples=1000, seed=11, chunk_size=64)
+        a = stream.materialize()
+        b = stream.materialize()
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MarsExpressStream(num_samples=2)
+        with pytest.raises(InvalidParameterError):
+            MarsExpressStream(train_fraction=1.5)
+        with pytest.raises(InvalidParameterError):
+            MarsExpressStream(noise_sigma=-1.0)

@@ -1,9 +1,10 @@
-"""Run the documented examples of the hdc/runtime/experiments/learning/serve APIs.
+"""Run the documented examples of the hdc/runtime/experiments/learning/serve/streaming APIs.
 
 Mirrors the CI step ``pytest --doctest-modules src/repro/hdc
 src/repro/runtime src/repro/experiments src/repro/learning
-src/repro/serve`` inside the tier-1 suite, so a docstring example can
-never rot unnoticed even in a plain ``pytest`` run.
+src/repro/serve src/repro/streaming`` inside the tier-1 suite, so a
+docstring example can never rot unnoticed even in a plain ``pytest``
+run.
 """
 
 from __future__ import annotations
@@ -19,8 +20,16 @@ import repro.hdc
 import repro.learning
 import repro.runtime
 import repro.serve
+import repro.streaming
 
-PACKAGES = (repro.hdc, repro.runtime, repro.experiments, repro.learning, repro.serve)
+PACKAGES = (
+    repro.hdc,
+    repro.runtime,
+    repro.experiments,
+    repro.learning,
+    repro.serve,
+    repro.streaming,
+)
 
 
 def _iter_modules():
