@@ -1,0 +1,23 @@
+"""Make ``import repro`` work from a plain source checkout.
+
+The benchmarks are runnable two ways:
+
+* with the package installed (``pip install -e .``) — this module is a
+  no-op, or
+* straight from a checkout (``python benchmarks/bench_kernels_similarity.py``)
+  — the repository's ``src/`` directory is prepended to ``sys.path``.
+
+Each benchmark imports this module first (``import _bootstrap``), which
+works because Python puts a script's own directory on ``sys.path``.
+Mirrors ``examples/_bootstrap.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a checkout without installation
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))

@@ -13,6 +13,8 @@ Mars Express workload with circular value encoding:
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import itertools
 
 from conftest import run_once, save_report

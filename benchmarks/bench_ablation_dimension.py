@@ -11,6 +11,8 @@ task at d ∈ {1024, 2048, 4096}:
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 from conftest import run_once, save_report
 
 from repro.analysis import format_table

@@ -11,6 +11,8 @@ linear mapping for a nonlinear one.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import math
 
 from conftest import run_once, save_report

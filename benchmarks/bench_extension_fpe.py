@@ -15,6 +15,8 @@ task once its frequency range covers the second harmonic.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import math
 
 import numpy as np

@@ -12,6 +12,8 @@ Asserts the structural signatures visible in the paper's figure:
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import numpy as np
 from conftest import run_once, save_report
 

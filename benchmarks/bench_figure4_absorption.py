@@ -10,6 +10,8 @@ a mid-size case against Monte-Carlo simulation of the chain itself.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import numpy as np
 from conftest import run_once, save_report
 

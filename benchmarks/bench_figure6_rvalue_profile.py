@@ -9,6 +9,8 @@ flat 0.5 at ``r = 1``.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import numpy as np
 from conftest import run_once, save_report
 

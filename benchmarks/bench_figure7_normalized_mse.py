@@ -8,6 +8,8 @@ bench covers d = 10,000) and checks the bar ordering of the figure.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 from conftest import PAPER_TABLE2, run_once, save_report
 
 from repro.analysis import format_table

@@ -16,6 +16,8 @@ dimension-stable (see bench_ablation_dimension.py).
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 from conftest import run_once, save_report
 
 from repro.analysis import format_table

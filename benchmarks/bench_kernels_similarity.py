@@ -1,17 +1,20 @@
 """Similarity-kernel benchmark: speedups, crossover surface, exactness.
 
-Measures the three kernel backends of :mod:`repro.hdc.kernels` against
-each other and writes a machine-readable summary to the repo-root
-``BENCH_kernels.json`` (committed, so the perf trajectory is tracked
-across PRs).  Four sections:
+Measures the exact kernel backends of :mod:`repro.hdc.kernels`
+(``xor``, ``xor-mt``, ``gemm``, ``auto``) against each other and writes
+a machine-readable summary to the repo-root ``BENCH_kernels.json``
+(committed, so the perf trajectory is tracked across PRs).  Four
+sections:
 
 * **headline** — the paper-scale all-pairs workload (n = m ≈ 1k,
   d = 10,000): the GEMM backend must beat the XOR-popcount reference by
   ≥ 5× (the acceptance gate of the kernels PR; skipped at ``--fast``
   scale where the problem is too small for the floor to be meaningful);
-* **crossover surface** — xor/gemm timings over an ``(n, m, d)`` grid,
-  the evidence behind the ``auto`` dispatch rule (the surface collapses
-  to the harmonic size ``n·m / (n+m)``; ``d`` cancels);
+* **crossover surface** — per-backend timings over an ``(n, m, d)``
+  grid, the evidence behind the ``auto`` dispatch rule (the GEMM side
+  collapses to the harmonic size ``n·m / (n+m)``; ``d`` cancels.  The
+  ``xor`` / ``xor-mt`` split follows the cube's byte-cell count — see
+  ``repro calibrate`` for the per-host measured thresholds);
 * **topk** — fused :func:`~repro.hdc.kernels.topk_hamming` against the
   materialise-then-argsort route it replaces;
 * **retrieval** — end-to-end :class:`~repro.hdc.memory.ItemMemory`
@@ -34,6 +37,8 @@ Run it::
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import argparse
 import json
 import time
@@ -47,6 +52,7 @@ from repro.hdc.kernels import (
     pairwise_hamming,
     topk_hamming,
     use_gemm,
+    use_xor_mt,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -92,21 +98,28 @@ def _measure_point(rng, n, m, d, repeats) -> dict:
     b = PackedHV.pack(_random_rows(rng, m, d))
     results = {}
     outputs = {}
-    for backend in ("xor", "gemm", "auto"):
+    for backend in ("xor", "xor-mt", "gemm", "auto"):
         outputs[backend] = pairwise_hamming(a, b, backend=backend)
         results[backend] = _time(lambda be=backend: pairwise_hamming(a, b, backend=be), repeats)
-    for backend in ("gemm", "auto"):
+    for backend in ("xor-mt", "gemm", "auto"):
         assert np.array_equal(outputs[backend], outputs["xor"]), (
             f"backend {backend} disagrees bitwise at n={n} m={m} d={d}"
         )
+    if use_gemm(n, m, d):
+        auto_picks = "gemm"
+    elif use_xor_mt(n, m, d):
+        auto_picks = "xor-mt"
+    else:
+        auto_picks = "xor"
     return {
         "n": n,
         "m": m,
         "d": d,
         "harmonic_size": round(n * m / (n + m), 2),
-        "auto_picks": "gemm" if use_gemm(n, m, d) else "xor",
+        "auto_picks": auto_picks,
         "seconds": {k: round(v, 6) for k, v in results.items()},
         "xor_over_gemm": round(results["xor"] / results["gemm"], 2),
+        "xor_over_xor_mt": round(results["xor"] / results["xor-mt"], 2),
     }
 
 

@@ -19,6 +19,8 @@ naive unpacked scan at d = 10,000, which must stay ≥ 3×.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import json
 import time
 from pathlib import Path

@@ -29,6 +29,8 @@ number; on a single-core container the parallel factor is ~1×).
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import argparse
 import json
 import os
@@ -37,8 +39,6 @@ import tempfile
 import time
 from dataclasses import replace
 from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro._rng import ensure_rng  # noqa: E402
 from repro.datasets import make_jigsaws_like  # noqa: E402

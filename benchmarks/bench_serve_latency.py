@@ -18,6 +18,8 @@ Writes ``benchmarks/results/BENCH_serve_latency.json``.  Run it::
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import argparse
 import json
 import time

@@ -24,6 +24,8 @@ Writes ``benchmarks/results/BENCH_stream.json``.  Run it::
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import argparse
 import json
 import os

@@ -11,6 +11,8 @@ on the three JIGSAWS-like tasks and checks the paper's qualitative claims:
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 import time
 
 from conftest import PAPER_TABLE1, run_once, save_report

@@ -10,6 +10,8 @@ paper's qualitative claims:
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
 from conftest import PAPER_TABLE2, run_once, save_report
 
 from repro.analysis import format_table

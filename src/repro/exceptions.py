@@ -15,6 +15,7 @@ __all__ = [
     "EncodingDomainError",
     "EmptyModelError",
     "ModelFormatError",
+    "CalibrationError",
 ]
 
 
@@ -75,4 +76,14 @@ class ModelFormatError(ReproError, ValueError):
     Covers unreadable containers, missing or malformed manifests, format
     versions newer than this library understands, and objects whose type
     has no registered serializer (see :mod:`repro.serve.persist`).
+    """
+
+
+class CalibrationError(ReproError, ValueError):
+    """Raised when a calibration artifact or workload spec is unusable.
+
+    Covers unreadable files, schema versions this library does not
+    understand, malformed knob values, and workload specs whose target
+    or budget fields are missing or out of range
+    (see :mod:`repro.tuning`).
     """

@@ -14,6 +14,10 @@ Usage::
     python -m repro.experiments serve --model model.npz [--input -]
     python -m repro.experiments serve --model model.npz --stream \\
         [--checkpoint CKPT.npz] [--checkpoint-every N]
+    python -m repro.experiments calibrate [--fast] [--out CALIBRATION.json] \\
+        [--report REPORT.json]
+    python -m repro.experiments check-deadline --workload SPEC.json \\
+        [--workload SPEC2.json ...]
 
 ``train`` runs one paper pipeline (a JIGSAWS-like gesture task or the
 Mars Express regression) and writes the trained model as a portable
@@ -40,6 +44,13 @@ Runtime flags (see ``docs/REPRODUCING.md`` for per-artifact guidance):
     configuration and cached as JSON under ``benchmarks/results/``
     (override with ``--cache-dir`` or ``REPRO_RESULTS_DIR``); re-running
     an identical command is a logged cache hit that recomputes nothing.
+
+``calibrate`` measures this host's kernel/streaming/worker throughput
+surface and writes the calibration artifact every knob consumer reads
+through ``REPRO_CALIBRATION`` (see :mod:`repro.tuning` and
+``docs/PERFORMANCE.md``).  ``check-deadline`` replays recorded workload
+specs against the current configuration and exits non-zero on any
+budget miss — the CI perf gate.
 """
 
 from __future__ import annotations
@@ -186,14 +197,16 @@ def _run_train(args: argparse.Namespace) -> None:
     else:
         config = ClassificationConfig(dim=dim, seed=args.seed)
     if args.stream:
+        from ..streaming.chunks import default_chunk_rows
         from ..streaming.train import train_pipeline_stream
 
+        chunk_rows = default_chunk_rows(args.chunk_size)
         pipeline, stats = train_pipeline_stream(
             args.task,
             args.basis,
             config=config,
             stream_samples=args.stream_samples,
-            chunk_size=args.chunk_size,
+            chunk_size=chunk_rows,
             workers=args.workers,
             checkpoint=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
@@ -217,7 +230,7 @@ def _run_train(args: argparse.Namespace) -> None:
     if stats is not None:
         print(
             f"streamed {stats.rows} rows in {stats.chunks} chunks "
-            f"of <= {args.chunk_size} rows (peak memory O(chunk))"
+            f"of <= {chunk_rows} rows (peak memory O(chunk))"
         )
     print(f"saved model to {path} ({path.stat().st_size} bytes)")
 
@@ -421,6 +434,60 @@ def _run_serve(args: argparse.Namespace) -> None:
             stream.close()
 
 
+def _run_calibrate(args: argparse.Namespace) -> None:
+    """Measure this host and write the calibration artifact.
+
+    ``--fast`` runs a reduced sweep (fewer points and repeats) for CI
+    and smoke use; the full sweep is the one to record.  ``--report``
+    additionally writes the raw measurement report (the throughput
+    surface, scaling curves and derivation) as JSON.
+    """
+    from ..tuning import calibrate
+    from ..tuning.calibration import save_calibration
+
+    dim = _effective_dim(args)
+    calibration, report = calibrate(fast=args.fast, dim=dim, seed=args.seed)
+    out = args.out or "calibration.json"
+    path = save_calibration(calibration, out)
+    print(f"calibrated {report['host']['platform']} ({report['host']['cpus']} cpu(s), "
+          f"d={dim}, {'fast' if args.fast else 'full'} sweep)")
+    for section, knobs in calibration.knobs.items():
+        for name, value in knobs.items():
+            print(f"  {section}.{name} = {value}")
+    worst = report.get("auto_worst_over_best")
+    if worst is not None:
+        print(f"  auto dispatch worst-case vs best fixed backend: {worst:.3f}x")
+    print(f"wrote {path} — activate with REPRO_CALIBRATION={path}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote measurement report to {args.report}")
+
+
+def _run_check_deadline(args: argparse.Namespace) -> None:
+    """Replay workload specs and fail on any blown budget."""
+    from ..exceptions import CalibrationError
+    from ..tuning import check_deadline
+
+    if not args.workload:
+        raise SystemExit("check-deadline requires at least one --workload SPEC.json")
+    try:
+        code, results = check_deadline(args.workload)
+    except CalibrationError as exc:
+        raise SystemExit(f"check-deadline: {exc}") from exc
+    for result in results:
+        status = "PASS" if result["ok"] else "FAIL"
+        print(f"[{status}] {result['name']} ({result['target']})")
+        for check in result["checks"]:
+            mark = "ok  " if check["ok"] else "MISS"
+            print(f"  {mark} {check['budget']}: measured {check['measured']} "
+                  f"<= budget {check['limit']}")
+    if code:
+        raise SystemExit(code)
+    print("all deadlines met")
+
+
 _TARGETS = {
     "table1": _print_table1,
     "table2": _print_table2,
@@ -430,6 +497,8 @@ _TARGETS = {
     "figure8": _print_figure8,
     "train": _run_train,
     "serve": _run_serve,
+    "calibrate": _run_calibrate,
+    "check-deadline": _run_check_deadline,
 }
 
 
@@ -457,9 +526,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--size", type=int, default=10, help="basis size (figure3)")
     parser.add_argument("--fast", action="store_true",
                         help=f"smaller, quicker run (dim capped at {FAST_DIM})")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="parallel experiment cells (0 = one per CPU); "
-                             "results are bit-identical to --workers 1")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel experiment cells (0 = one per CPU; "
+                             "default: REPRO_WORKERS env, then the calibration "
+                             "artifact, then 1); results are bit-identical "
+                             "for any value")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute even if a cached result exists, and do not cache")
     parser.add_argument("--cache-dir", default=None,
@@ -471,8 +542,10 @@ def main(argv: list[str] | None = None) -> int:
                               "or mars_express (regression)")
     serving.add_argument("--basis", choices=BASIS_KINDS, default="circular",
                          help="value basis for the trained pipeline")
-    serving.add_argument("--out", default=None, metavar="MODEL.npz",
-                         help="where `train` writes the model artifact (required)")
+    serving.add_argument("--out", default=None, metavar="PATH",
+                         help="where `train` writes the model artifact "
+                              "(required) and `calibrate` writes the "
+                              "calibration artifact (default: calibration.json)")
     serving.add_argument("--model", default=None, metavar="MODEL.npz",
                          help="model artifact `serve` loads (required)")
     serving.add_argument("--input", default="-",
@@ -483,7 +556,8 @@ def main(argv: list[str] | None = None) -> int:
                               "interactive request/response clients; raise it "
                               "for bulk piped input (responses stay in request "
                               "order either way)")
-    serving.add_argument("--kernel", choices=["auto", "gemm", "xor"], default=None,
+    serving.add_argument("--kernel", choices=["auto", "gemm", "xor", "xor-mt"],
+                         default=None,
                          help="similarity-kernel backend for `serve` distance "
                               "scans (default: REPRO_KERNEL env or auto; all "
                               "choices answer bit-identically)")
@@ -497,10 +571,11 @@ def main(argv: list[str] | None = None) -> int:
                            help="total training rows `train --stream` generates "
                                 "(default: the generator's paper-scale size); "
                                 "may exceed RAM — memory stays O(--chunk-size)")
-    streaming.add_argument("--chunk-size", type=int, default=1024,
+    streaming.add_argument("--chunk-size", type=int, default=None,
                            help="rows per streamed chunk — the memory knob of "
-                                "--stream (results are bit-identical for any "
-                                "value)")
+                                "--stream (default: REPRO_CHUNK_ROWS env, then "
+                                "the calibration artifact, then 1024; results "
+                                "are bit-identical for any value)")
     streaming.add_argument("--checkpoint", default=None, metavar="CKPT.npz",
                            help="atomic checkpoint file updated while "
                                 "streaming (train: every --checkpoint-every "
@@ -509,13 +584,27 @@ def main(argv: list[str] | None = None) -> int:
     streaming.add_argument("--checkpoint-every", type=int, default=8,
                            help="checkpoint interval for --checkpoint "
                                 "(default: 8)")
+    tuning = parser.add_argument_group("tuning (calibrate / check-deadline targets)")
+    tuning.add_argument("--report", default=None, metavar="REPORT.json",
+                        help="where `calibrate` writes the raw measurement "
+                             "report (surface, scaling curves, derivation)")
+    tuning.add_argument("--workload", action="append", default=None,
+                        metavar="SPEC.json",
+                        help="workload spec for `check-deadline` (repeatable); "
+                             "see benchmarks/workloads/ for the format")
     args = parser.parse_args(argv)
     if args.batch_size < 1:
         parser.error(f"--batch-size must be positive, got {args.batch_size}")
-    if args.chunk_size < 1:
+    if args.chunk_size is not None and args.chunk_size < 1:
         parser.error(f"--chunk-size must be positive, got {args.chunk_size}")
     if args.checkpoint_every < 1:
         parser.error(f"--checkpoint-every must be positive, got {args.checkpoint_every}")
+    if args.workers is None:
+        # Unconfigured callers get the calibrated default (builtin: 1);
+        # an explicit --workers (incl. 0 = one per CPU) passes through.
+        from ..runtime.pool import default_workers
+
+        args.workers = default_workers()
     logging.basicConfig(
         level=logging.INFO, stream=sys.stderr, format="[%(name)s] %(message)s"
     )

@@ -32,12 +32,13 @@ from .parallel import (
     predict_regressor_sharded,
     score_classifier_sharded,
 )
-from .pool import WorkerPool, resolve_workers
+from .pool import WorkerPool, default_workers, resolve_workers
 
 __all__ = [
     "ArtifactStore",
     "BatchEncoder",
     "WorkerPool",
+    "default_workers",
     "canonical_digest",
     "resolve_workers",
     "fit_classifier_sharded",

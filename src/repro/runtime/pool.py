@@ -31,12 +31,17 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..exceptions import InvalidParameterError
 
-__all__ = ["WorkerPool", "resolve_workers"]
+__all__ = ["WorkerPool", "default_workers", "resolve_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 _BACKENDS = ("thread", "process")
+
+#: Environment variable overriding the calibrated default worker count
+#: (the calibration knob is ``runtime.workers``; see
+#: :func:`default_workers`).
+_ENV_WORKERS = "REPRO_WORKERS"
 
 
 def _star_apply(fn_args: tuple[Callable[..., R], tuple]) -> R:
@@ -61,6 +66,40 @@ def resolve_workers(workers: int | None) -> int:
     if not isinstance(workers, int) or isinstance(workers, bool) or workers < 0:
         raise InvalidParameterError(f"workers must be a non-negative integer, got {workers!r}")
     return workers
+
+
+def default_workers(workers: int | None = None) -> int:
+    """The calibrated default worker count for engines and drivers.
+
+    Resolution order (:func:`repro.tuning.calibration.resolve_knob`):
+    the explicit ``workers`` argument, then the ``REPRO_WORKERS``
+    environment variable, then the active calibration artifact's
+    ``runtime.workers`` knob, then ``1`` (the serial reference —
+    uncalibrated processes behave exactly as before).  Worker counts
+    only schedule work: every consumer is bit-identical for any value.
+
+    Distinct from :func:`resolve_workers`, which normalises an explicit
+    request (``None``/``0`` → one worker per CPU) *inside*
+    :class:`WorkerPool`; this function decides what unconfigured callers
+    ask for in the first place.
+
+    >>> default_workers(4)
+    4
+    >>> default_workers() >= 1
+    True
+    """
+    from ..tuning.calibration import resolve_knob
+
+    value = resolve_knob(
+        "runtime",
+        "workers",
+        builtin=1,
+        arg=workers,
+        env_var=_ENV_WORKERS,
+        cast=int,
+        minimum=1,
+    )
+    return max(1, int(value))
 
 
 class WorkerPool:

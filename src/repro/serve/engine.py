@@ -30,7 +30,7 @@ from ..hdc.packed import PackedHV
 from ..learning.classifier import CentroidClassifier
 from ..runtime.batch import BatchEncoder
 from ..runtime.parallel import predict_classifier_sharded, predict_regressor_sharded
-from ..runtime.pool import WorkerPool
+from ..runtime.pool import WorkerPool, default_workers
 from .pipeline import TrainedPipeline
 
 __all__ = ["InferenceEngine"]
@@ -44,8 +44,11 @@ class InferenceEngine:
     pipeline:
         The :class:`~repro.serve.pipeline.TrainedPipeline` to serve.
     workers:
-        Worker count for encode/predict sharding.  ``1`` (default) runs
-        everything inline; any value produces bit-identical answers.
+        Worker count for encode/predict sharding.  ``None`` (default)
+        resolves through :func:`~repro.runtime.pool.default_workers` —
+        the ``REPRO_WORKERS`` environment variable, then the active
+        calibration artifact's ``runtime.workers`` knob, then ``1``
+        (inline) — and any value produces bit-identical answers.
     backend:
         Similarity-kernel backend for the distance scans
         (:mod:`repro.hdc.kernels`): ``"auto"`` (default via the
@@ -75,14 +78,14 @@ class InferenceEngine:
     def __init__(
         self,
         pipeline: TrainedPipeline,
-        workers: int = 1,
+        workers: int | None = None,
         backend: str | None = None,
     ) -> None:
         self.pipeline = pipeline
         # Resolve eagerly so a typo'd backend (or REPRO_KERNEL value)
         # fails at construction, not on the first mid-stream request.
         self.backend = resolve_backend(backend)
-        self._pool = WorkerPool(workers=workers)
+        self._pool = WorkerPool(workers=default_workers(workers))
         self._pool.__enter__()  # keep one executor alive across requests
         if pipeline.keys is not None:
             self._encoder: BatchEncoder | None = BatchEncoder(
@@ -101,7 +104,7 @@ class InferenceEngine:
     def from_path(
         cls,
         path: str | os.PathLike,
-        workers: int = 1,
+        workers: int | None = None,
         backend: str | None = None,
     ) -> "InferenceEngine":
         """Load a saved pipeline (``save_model`` output) and wrap it.

@@ -40,7 +40,10 @@ class OnlineLearner:
         model object — updates are visible to subsequent predictions
         immediately.
     workers:
-        Worker count for the embedded engine's encode/predict sharding.
+        Worker count for the embedded engine's encode/predict sharding
+        (``None`` resolves through
+        :func:`~repro.runtime.pool.default_workers`: env var, then
+        calibration, then serial).
     backend:
         Similarity-kernel backend for the embedded engine's distance
         scans (``"auto"``/``"gemm"``/``"xor"``; ``None`` defers to the
@@ -64,7 +67,7 @@ class OnlineLearner:
     def __init__(
         self,
         pipeline: TrainedPipeline,
-        workers: int = 1,
+        workers: int | None = None,
         backend: str | None = None,
     ) -> None:
         self.engine = InferenceEngine(pipeline, workers=workers, backend=backend)

@@ -33,6 +33,7 @@ from .chunks import (
     Chunk,
     ChunkSource,
     array_chunks,
+    default_chunk_rows,
     iter_slices,
     rechunk,
     split_chunks,
@@ -42,6 +43,7 @@ from .reduce import (
     StreamStats,
     encode_reduce,
     positional_tie_bits,
+    prefetch_chunks,
     resolve_majority,
     stream_encode,
 )
@@ -59,6 +61,7 @@ __all__ = [
     "Chunk",
     "ChunkSource",
     "array_chunks",
+    "default_chunk_rows",
     "iter_slices",
     "rechunk",
     "split_chunks",
@@ -67,6 +70,7 @@ __all__ = [
     "StreamStats",
     "encode_reduce",
     "positional_tie_bits",
+    "prefetch_chunks",
     "resolve_majority",
     "stream_encode",
     "checkpointer",

@@ -34,6 +34,7 @@ __all__ = [
     "Chunk",
     "ChunkSource",
     "array_chunks",
+    "default_chunk_rows",
     "iter_slices",
     "rechunk",
     "split_chunks",
@@ -42,6 +43,41 @@ __all__ = [
 #: Default rows per streamed chunk.  Bounds the transient encode gather
 #: at roughly ``rows × k × d`` bytes; lower it to shrink peak memory.
 DEFAULT_CHUNK_ROWS = 1024
+
+#: Environment variable overriding the default chunk size (the
+#: calibration knob is ``streaming.chunk_rows``; see
+#: :func:`default_chunk_rows`).
+_ENV_CHUNK_ROWS = "REPRO_CHUNK_ROWS"
+
+
+def default_chunk_rows(chunk_size: int | None = None) -> int:
+    """The streamed-chunk row default after calibration.
+
+    Resolution order (:func:`repro.tuning.calibration.resolve_knob`):
+    the explicit ``chunk_size`` argument, then the ``REPRO_CHUNK_ROWS``
+    environment variable, then the active calibration artifact's
+    ``streaming.chunk_rows`` knob, then :data:`DEFAULT_CHUNK_ROWS`.
+    Safe to calibrate: streamed encoding is chunking-invariant (ties are
+    keyed by absolute row position), so the chunk size moves peak memory
+    and throughput, never results.
+
+    >>> default_chunk_rows(256)
+    256
+    >>> default_chunk_rows() >= 1
+    True
+    """
+    from ..tuning.calibration import resolve_knob
+
+    value = resolve_knob(
+        "streaming",
+        "chunk_rows",
+        builtin=DEFAULT_CHUNK_ROWS,
+        arg=chunk_size,
+        env_var=_ENV_CHUNK_ROWS,
+        cast=int,
+        minimum=1,
+    )
+    return int(value)
 
 
 @dataclass(frozen=True)
@@ -251,18 +287,42 @@ class _Rechunked:
         buffered = 0
 
         def drain(chunks: list[Chunk], rows: int) -> Chunk:
-            features = np.concatenate([c.features for c in chunks], axis=0)[:rows]
+            head = chunks[0]
+            if len(chunks) == 1:
+                # The emitted chunk sits inside one source slab: emit
+                # zero-copy views (the whole chunk object when the
+                # boundaries align exactly).
+                if rows == head.rows:
+                    return head
+                return Chunk(
+                    features=head.features[:rows],
+                    targets=None
+                    if head.targets is None
+                    else np.asarray(head.targets)[:rows],
+                    start=head.start,
+                    split=head.split,
+                    meta=head.meta,
+                )
+            # Straddling a slab boundary: copy exactly the rows emitted —
+            # whole leading slabs plus only the needed head of the last.
+            take = rows - sum(c.rows for c in chunks[:-1])
+            features = np.concatenate(
+                [c.features for c in chunks[:-1]] + [chunks[-1].features[:take]],
+                axis=0,
+            )
             targets = None
-            if chunks[0].targets is not None:
+            if head.targets is not None:
                 targets = np.concatenate(
-                    [np.asarray(c.targets) for c in chunks], axis=0
-                )[:rows]
+                    [np.asarray(c.targets) for c in chunks[:-1]]
+                    + [np.asarray(chunks[-1].targets)[:take]],
+                    axis=0,
+                )
             return Chunk(
                 features=features,
                 targets=targets,
-                start=chunks[0].start,
-                split=chunks[0].split,
-                meta=chunks[0].meta,
+                start=head.start,
+                split=head.split,
+                meta=head.meta,
             )
 
         for chunk in self.source:
@@ -298,6 +358,11 @@ def rechunk(source: ChunkSource, chunk_size: int) -> _Rechunked:
     preserved exactly — only the slab boundaries move — so anything
     built on the positional guarantees (the streaming encoder, the
     reducers) produces bit-identical results on the re-chunked source.
+
+    Chunks that fall inside a single source slab are emitted as
+    **zero-copy views** (the source chunk itself when the boundaries
+    align exactly); only a chunk straddling a slab boundary copies, and
+    it copies exactly the rows it emits.
 
     >>> import numpy as np
     >>> src = array_chunks(np.arange(10.0).reshape(5, 2), chunk_size=2)

@@ -26,8 +26,10 @@ compose:
 
 from __future__ import annotations
 
+import queue
+import threading
 from dataclasses import dataclass
-from typing import Callable, Union
+from typing import Callable, Iterator, Union
 
 import numpy as np
 
@@ -43,6 +45,7 @@ __all__ = [
     "StreamStats",
     "encode_reduce",
     "positional_tie_bits",
+    "prefetch_chunks",
     "resolve_majority",
     "stream_encode",
 ]
@@ -192,6 +195,74 @@ def stream_encode(
     return PackedHV(out, d) if packed else out
 
 
+#: Sentinel marking the end of a prefetched stream.
+_PREFETCH_DONE = object()
+
+
+def prefetch_chunks(source: ChunkSource, depth: int = 1) -> Iterator:
+    """Iterate a chunk source with chunk generation one step ahead.
+
+    A single background thread pulls chunks from ``source`` into a
+    bounded queue (``depth`` slots — ``1`` is classic double buffering)
+    while the consumer processes the current one, overlapping chunk
+    *generation* (synthetic streams burn real CPU producing rows) with
+    chunk *encoding*.  Chunks arrive in source order through a FIFO
+    queue from one producer, so everything downstream is bit-identical
+    to plain iteration; exceptions raised by the source re-raise at the
+    consumer.  Abandoning the iterator early (``break``, error) stops
+    the producer promptly.
+
+    >>> import numpy as np
+    >>> from repro.streaming.chunks import array_chunks
+    >>> src = array_chunks(np.arange(12.0).reshape(6, 2), chunk_size=4)
+    >>> [(c.start, c.rows) for c in prefetch_chunks(src)]
+    [(0, 4), (4, 2)]
+    """
+    if depth < 1:
+        raise InvalidParameterError(f"prefetch depth must be positive, got {depth}")
+    fifo: queue.Queue = queue.Queue(maxsize=depth)
+    stop = threading.Event()
+    failure: list[BaseException] = []
+
+    def _put(item: object) -> bool:
+        while not stop.is_set():
+            try:
+                fifo.put(item, timeout=0.1)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def produce() -> None:
+        try:
+            for chunk in source:
+                if not _put(chunk):
+                    return
+        except BaseException as exc:  # re-raised on the consumer side
+            failure.append(exc)
+        finally:
+            _put(_PREFETCH_DONE)
+
+    thread = threading.Thread(
+        target=produce, name="repro-chunk-prefetch", daemon=True
+    )
+    thread.start()
+    try:
+        while True:
+            item = fifo.get()
+            if item is _PREFETCH_DONE:
+                break
+            yield item
+        if failure:
+            raise failure[0]
+    finally:
+        stop.set()
+        # The producer exits at its next put; a thread mid-generation
+        # inside the source is a daemon and cannot be interrupted, so
+        # don't wait on it forever.
+        thread.join(timeout=1.0)
+
+
 @dataclass
 class StreamStats:
     """What one streaming pass consumed: chunks seen and rows reduced."""
@@ -210,6 +281,7 @@ def encode_reduce(
     source: ChunkSource,
     encode: Callable[[object], object],
     on_chunk: Callable[[StreamStats], None] | None = None,
+    prefetch: int = 1,
 ) -> StreamStats:
     """Stream chunks through ``encode`` straight into ``model``.
 
@@ -221,6 +293,13 @@ def encode_reduce(
     length.  ``on_chunk`` (if given) runs after every reduced chunk
     with the running :class:`StreamStats`; the ``train --stream`` CLI
     hooks its atomic checkpoints there.
+
+    With ``prefetch`` ≥ 1 (default: 1, double buffering) the next chunk
+    is generated on a background thread (:func:`prefetch_chunks`) while
+    the current one encodes, overlapping the two stages; peak memory
+    grows by at most ``prefetch`` raw chunks and the result stays
+    bit-identical (chunks arrive in source order).  ``prefetch=0``
+    iterates the source inline.
 
     ``model`` is anything with ``partial_fit`` — a
     :class:`~repro.learning.classifier.CentroidClassifier` or
@@ -245,7 +324,8 @@ def encode_reduce(
 
     stats = StreamStats()
     classify = isinstance(model, CentroidClassifier)
-    for chunk in source:
+    chunks = prefetch_chunks(source, depth=prefetch) if prefetch else source
+    for chunk in chunks:
         if chunk.targets is None:
             raise InvalidParameterError(
                 "encode_reduce needs labelled chunks; this source yields "

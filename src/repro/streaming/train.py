@@ -30,7 +30,7 @@ from ..learning.metrics import mean_squared_error
 from ..learning.regression import HDRegressor
 from ..runtime.batch import BatchEncoder
 from ..runtime.pool import WorkerPool
-from .chunks import DEFAULT_CHUNK_ROWS, Chunk, ChunkSource
+from .chunks import Chunk, ChunkSource, default_chunk_rows
 from .reduce import StreamStats, encode_reduce, stream_encode
 from .sources import JigsawsStream, MarsExpressStream
 
@@ -228,7 +228,7 @@ def train_pipeline_stream(
     basis_kind: str = "circular",
     config=None,
     stream_samples: int | None = None,
-    chunk_size: int = DEFAULT_CHUNK_ROWS,
+    chunk_size: int | None = None,
     workers: int = 1,
     checkpoint: Union[str, os.PathLike, None] = None,
     checkpoint_every: int = 8,
@@ -256,7 +256,11 @@ def train_pipeline_stream(
         paper-scale default.
     chunk_size:
         Rows per streamed chunk — the memory knob: peak RAM is
-        O(chunk), independent of ``stream_samples``.
+        O(chunk), independent of ``stream_samples``.  ``None`` resolves
+        through :func:`~repro.streaming.chunks.default_chunk_rows`
+        (``REPRO_CHUNK_ROWS`` env, then the calibration artifact's
+        ``streaming.chunk_rows`` knob, then 1024); the streamed result
+        is bit-identical for any value.
     workers:
         Worker threads for the per-chunk encode count phase
         (bit-identical for any value).
@@ -286,6 +290,7 @@ def train_pipeline_stream(
     from ..experiments.regression import _feature_embedding
     from ..serve.pipeline import TrainedPipeline
 
+    chunk_size = default_chunk_rows(chunk_size)
     if basis_kind not in BASIS_KINDS:
         raise InvalidParameterError(
             f"basis_kind must be one of {BASIS_KINDS}, got {basis_kind!r}"

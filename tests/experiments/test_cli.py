@@ -96,10 +96,17 @@ class TestCLI:
 class TestCLISubprocess:
     """End-to-end smoke tests: every subcommand via a real interpreter."""
 
-    # train/serve need --out/--model and have their own subprocess smoke
-    # tests (tests/serve/test_cli_serve.py); smoke the artifact targets.
+    # train/serve need --out/--model and calibrate/check-deadline need
+    # artifact/workload paths; those four have their own subprocess
+    # smoke tests (tests/serve/test_cli_serve.py,
+    # tests/tuning/test_cli_tuning.py).  Smoke the artifact targets.
     @pytest.mark.parametrize(
-        "target", sorted(t for t in _TARGETS if t not in ("train", "serve"))
+        "target",
+        sorted(
+            t
+            for t in _TARGETS
+            if t not in ("train", "serve", "calibrate", "check-deadline")
+        ),
     )
     def test_fast_smoke(self, target, tmp_path):
         proc = _run_cli([target, "--fast", "--dim", "256", "--no-cache"], tmp_path)

@@ -119,3 +119,42 @@ class TestRechunk:
         src = rechunk(array_chunks(np.zeros((8, 2)), chunk_size=2), 3)
         assert src.num_rows == 8
         assert src.num_features == 2
+
+
+class TestRechunkZeroCopy:
+    """Chunks that sit inside one source slab are emitted as views."""
+
+    def test_aligned_boundaries_reuse_the_chunk_object(self):
+        x = np.arange(24.0).reshape(12, 2)
+        inner = list(array_chunks(x, chunk_size=4))
+        outer = list(rechunk(array_chunks(x, chunk_size=4), 4))
+        # same chunk size on both sides: the source chunks pass through
+        for got, want in zip(outer, inner):
+            assert got.start == want.start
+            assert np.shares_memory(got.features, x)
+
+    def test_splitting_one_slab_emits_views(self):
+        x = np.arange(20.0).reshape(10, 2)
+        y = np.arange(10)
+        # one 10-row slab re-sliced into 3-row chunks: every emitted
+        # chunk lives inside the slab, so none of them may copy
+        for c in rechunk(array_chunks(x, y, chunk_size=10), 3):
+            assert np.shares_memory(c.features, x)
+            assert np.shares_memory(np.asarray(c.targets), y)
+
+    def test_straddling_chunk_copies_only_once(self):
+        x = np.arange(24.0).reshape(12, 2)
+        # 4-row slabs re-sliced to 5 rows: chunk 0 straddles slabs 0-1,
+        # chunk 1 straddles slabs 1-2, the 2-row tail sits inside slab 2
+        chunks = list(rechunk(array_chunks(x, chunk_size=4), 5))
+        assert [c.rows for c in chunks] == [5, 5, 2]
+        assert not np.shares_memory(chunks[0].features, x)  # concatenated
+        assert not np.shares_memory(chunks[1].features, x)
+        assert np.shares_memory(chunks[2].features, x)  # tail is a view
+
+    def test_views_carry_correct_rows(self):
+        x = np.random.default_rng(0).normal(size=(17, 3))
+        y = np.arange(17)
+        chunks = list(rechunk(array_chunks(x, y, chunk_size=17), 4))
+        assert np.array_equal(np.concatenate([c.features for c in chunks]), x)
+        assert np.array_equal(np.concatenate([c.targets for c in chunks]), y)

@@ -15,6 +15,7 @@ from repro.streaming import (
     array_chunks,
     encode_reduce,
     positional_tie_bits,
+    prefetch_chunks,
     resolve_majority,
     stream_encode,
 )
@@ -184,4 +185,81 @@ class TestEncodeReduce:
                 HDRegressor(emb),
                 src,
                 lambda c: emb.encode_packed(c.features[:, 0]),
+            )
+
+
+class TestPrefetchChunks:
+    """The double-buffer thread must be invisible except in wall-clock."""
+
+    def test_preserves_order_and_content(self):
+        x = np.arange(30.0).reshape(15, 2)
+        src = array_chunks(x, chunk_size=4)
+        plain = [(c.start, c.features.copy()) for c in src]
+        fetched = [(c.start, c.features) for c in prefetch_chunks(src)]
+        assert [s for s, _ in fetched] == [s for s, _ in plain]
+        for (_, got), (_, want) in zip(fetched, plain):
+            assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_any_depth_is_bit_identical(self, depth):
+        x = np.random.default_rng(depth).normal(size=(23, 3))
+        src = array_chunks(x, chunk_size=5)
+        stacked = np.concatenate(
+            [c.features for c in prefetch_chunks(src, depth=depth)]
+        )
+        assert np.array_equal(stacked, x)
+
+    def test_rejects_non_positive_depth(self):
+        src = array_chunks(np.zeros((4, 1)), chunk_size=2)
+        with pytest.raises(InvalidParameterError):
+            next(prefetch_chunks(src, depth=0))
+
+    def test_source_error_reraises_after_good_chunks(self):
+        class Exploding:
+            def __iter__(self):
+                yield from array_chunks(np.zeros((4, 1)), chunk_size=2)
+                raise RuntimeError("stream truncated")
+
+        consumed = []
+        with pytest.raises(RuntimeError, match="stream truncated"):
+            for chunk in prefetch_chunks(Exploding()):
+                consumed.append(chunk.rows)
+        assert consumed == [2, 2]  # chunks before the failure still arrive
+
+    def test_source_error_propagates(self):
+        class ExplodesImmediately:
+            def __iter__(self):
+                raise RuntimeError("stream truncated")
+                yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError, match="stream truncated"):
+            list(prefetch_chunks(ExplodesImmediately()))
+
+    def test_abandoning_early_stops_cleanly(self):
+        x = np.zeros((100, 2))
+        it = prefetch_chunks(array_chunks(x, chunk_size=2), depth=1)
+        first = next(it)
+        assert first.rows == 2
+        it.close()  # generator finalisation must not hang or raise
+
+    def test_encode_reduce_prefetch_is_bit_identical(self):
+        y = np.arange(24) % 3
+        x = np.random.default_rng(7).uniform(0, TWO_PI, (24, 4))
+        enc = make_encoder(dim=64, tie_break="zeros")
+
+        def fit(prefetch):
+            clf = CentroidClassifier(64, tie_break="zeros")
+            encode_reduce(
+                clf,
+                array_chunks(x, y, chunk_size=5),
+                lambda c: stream_encode(enc, c.features, start=c.start),
+                prefetch=prefetch,
+            )
+            return clf
+
+        inline, buffered = fit(0), fit(1)
+        assert inline.num_samples == buffered.num_samples == 24
+        for label in inline.classes:
+            assert np.array_equal(
+                inline.class_vector(label), buffered.class_vector(label)
             )

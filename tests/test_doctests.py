@@ -1,10 +1,10 @@
-"""Run the documented examples of the hdc/runtime/experiments/learning/serve/streaming APIs.
+"""Run the documented examples of the public packages' APIs.
 
 Mirrors the CI step ``pytest --doctest-modules src/repro/hdc
 src/repro/runtime src/repro/experiments src/repro/learning
-src/repro/serve src/repro/streaming`` inside the tier-1 suite, so a
-docstring example can never rot unnoticed even in a plain ``pytest``
-run.
+src/repro/serve src/repro/streaming src/repro/tuning`` inside the
+tier-1 suite, so a docstring example can never rot unnoticed even in a
+plain ``pytest`` run.
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ import repro.learning
 import repro.runtime
 import repro.serve
 import repro.streaming
+import repro.tuning
 
 PACKAGES = (
     repro.hdc,
@@ -29,6 +30,7 @@ PACKAGES = (
     repro.learning,
     repro.serve,
     repro.streaming,
+    repro.tuning,
 )
 
 

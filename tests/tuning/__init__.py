@@ -1,0 +1,1 @@
+"""Test package (gives each test module a unique import path)."""

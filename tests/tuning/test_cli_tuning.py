@@ -1,0 +1,141 @@
+"""Subprocess smoke tests for the ``calibrate`` / ``check-deadline`` CLI.
+
+These run the real ``python -m repro.experiments`` entry point, so they
+cover exactly what a user (and CI) types: calibrate writes an artifact a
+*fresh process* can activate through ``REPRO_CALIBRATION``, and
+check-deadline turns budget misses into a non-zero exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.tuning import SCHEMA_VERSION, load_calibration
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_cli(
+    args: list[str], env_extra: dict[str, str] | None = None
+) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env.pop("REPRO_CALIBRATION", None)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+
+
+@pytest.fixture(scope="module")
+def calibration_artifact(tmp_path_factory):
+    out = tmp_path_factory.mktemp("tuning") / "calibration.json"
+    report = out.with_name("report.json")
+    result = _run_cli([
+        "calibrate", "--fast", "--dim", "512",
+        "--out", str(out), "--report", str(report),
+    ])
+    assert result.returncode == 0, result.stderr
+    return out, report, result.stdout
+
+
+def _spec(path: Path, budget: dict) -> Path:
+    path.write_text(json.dumps({
+        "schema": 1,
+        "name": path.stem,
+        "target": "serve_latency",
+        "shape": {"dim": 256, "calls": 5, "repeats": 1},
+        "budget": budget,
+    }))
+    return path
+
+
+class TestCalibrateCLI:
+    def test_writes_valid_artifact(self, calibration_artifact):
+        out, _, stdout = calibration_artifact
+        calibration = load_calibration(out)
+        assert calibration.get("kernels", "gemm_crossover") > 0
+        assert calibration.get("streaming", "chunk_rows") >= 1
+        assert "REPRO_CALIBRATION" in stdout
+
+    def test_report_records_the_surface(self, calibration_artifact):
+        _, report, _ = calibration_artifact
+        payload = json.loads(report.read_text())
+        assert payload["mode"] == "fast"
+        assert payload["kernel_surface"], "empty measurement surface"
+        assert payload["knobs"]["kernels"]["gemm_crossover"] > 0
+
+    def test_artifact_activates_in_fresh_process(self, calibration_artifact):
+        out, _, _ = calibration_artifact
+        probe = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.tuning import active_calibration; "
+                "print(sorted(active_calibration().knobs))",
+            ],
+            capture_output=True,
+            text=True,
+            env=dict(
+                os.environ,
+                PYTHONPATH=str(REPO_ROOT / "src"),
+                REPRO_CALIBRATION=str(out),
+            ),
+            timeout=120,
+        )
+        assert probe.returncode == 0, probe.stderr
+        assert "kernels" in probe.stdout
+
+    def test_schema_version_recorded(self, calibration_artifact):
+        out, _, _ = calibration_artifact
+        assert json.loads(out.read_text())["schema"] == SCHEMA_VERSION
+
+
+class TestCheckDeadlineCLI:
+    def test_pass_exits_zero(self, tmp_path, calibration_artifact):
+        out, _, _ = calibration_artifact
+        spec = _spec(tmp_path / "ok.json", {"p99_ms": 10_000.0})
+        result = _run_cli(
+            ["check-deadline", "--workload", str(spec)],
+            env_extra={"REPRO_CALIBRATION": str(out)},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "all deadlines met" in result.stdout
+
+    def test_miss_exits_nonzero(self, tmp_path):
+        spec = _spec(tmp_path / "miss.json", {"p99_ms": 1e-9})
+        result = _run_cli(["check-deadline", "--workload", str(spec)])
+        assert result.returncode == 1
+        assert "MISS" in result.stdout
+
+    def test_malformed_spec_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        result = _run_cli(["check-deadline", "--workload", str(bad)])
+        assert result.returncode != 0
+        assert "check-deadline" in result.stderr
+
+    def test_missing_workload_flag_errors(self):
+        result = _run_cli(["check-deadline"])
+        assert result.returncode != 0
+        assert "--workload" in result.stderr
+
+    def test_committed_specs_are_loadable(self):
+        from repro.tuning import load_workload
+
+        for name in ("serve_latency.json", "stream_rss.json"):
+            spec = load_workload(REPO_ROOT / "benchmarks" / "workloads" / name)
+            assert spec.budget, name

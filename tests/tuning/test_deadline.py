@@ -1,0 +1,118 @@
+"""Workload specs and the ``check-deadline`` gate.
+
+The contract under test: a malformed spec raises
+:class:`~repro.exceptions.CalibrationError` (a perf gate that silently
+skips is worse than none); a replay reports one check per budget entry;
+and the exit code is non-zero exactly when a budget is missed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import CalibrationError
+from repro.tuning import WorkloadSpec, check_deadline, load_workload, run_workload
+
+
+def write_spec(path, **overrides):
+    spec = {
+        "schema": 1,
+        "name": "unit",
+        "target": "serve_latency",
+        "shape": {"dim": 256, "calls": 5, "repeats": 1},
+        "budget": {"p99_ms": 1000.0},
+    }
+    spec.update(overrides)
+    path.write_text(json.dumps(spec))
+    return path
+
+
+class TestLoadWorkload:
+    def test_valid_spec_loads(self, tmp_path):
+        spec = load_workload(write_spec(tmp_path / "w.json"))
+        assert spec.name == "unit"
+        assert spec.target == "serve_latency"
+        assert spec.budget == {"p99_ms": 1000.0}
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CalibrationError, match="cannot read"):
+            load_workload(tmp_path / "nope.json")
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "w.json"
+        path.write_text("{not json")
+        with pytest.raises(CalibrationError, match="JSON"):
+            load_workload(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        with pytest.raises(CalibrationError, match="schema"):
+            load_workload(write_spec(tmp_path / "w.json", schema=42))
+
+    def test_unknown_target_rejected(self, tmp_path):
+        with pytest.raises(CalibrationError, match="target"):
+            load_workload(write_spec(tmp_path / "w.json", target="quantum"))
+
+    def test_unknown_budget_key_rejected(self, tmp_path):
+        with pytest.raises(CalibrationError, match="unknown budget"):
+            load_workload(
+                write_spec(tmp_path / "w.json", budget={"warp_ms": 1.0})
+            )
+
+    def test_budget_for_wrong_target_rejected(self, tmp_path):
+        # peak_rss_mb belongs to stream_rss, not serve_latency
+        with pytest.raises(CalibrationError, match="unknown budget"):
+            load_workload(
+                write_spec(tmp_path / "w.json", budget={"peak_rss_mb": 100.0})
+            )
+
+    @pytest.mark.parametrize("value", [0, -1.5, "fast", True])
+    def test_non_positive_budget_rejected(self, tmp_path, value):
+        with pytest.raises(CalibrationError, match="positive"):
+            load_workload(write_spec(tmp_path / "w.json", budget={"p99_ms": value}))
+
+    def test_empty_budget_rejected(self, tmp_path):
+        with pytest.raises(CalibrationError, match="empty budget"):
+            load_workload(write_spec(tmp_path / "w.json", budget={}))
+
+
+class TestRunWorkload:
+    def test_serve_latency_replay_reports_checks(self):
+        spec = WorkloadSpec(
+            name="s",
+            target="serve_latency",
+            shape={"dim": 256, "calls": 5, "repeats": 1},
+            budget={"p50_ms": 1000.0, "p99_ms": 1000.0},
+        )
+        result = run_workload(spec)
+        assert result["ok"] is True
+        assert {c["budget"] for c in result["checks"]} == {"p50_ms", "p99_ms"}
+        assert result["measured"]["p50_ms"] <= result["measured"]["p99_ms"]
+
+    def test_budget_miss_flips_ok(self):
+        spec = WorkloadSpec(
+            name="s",
+            target="serve_latency",
+            shape={"dim": 256, "calls": 5, "repeats": 1},
+            budget={"p99_ms": 1e-9},
+        )
+        result = run_workload(spec)
+        assert result["ok"] is False
+        assert result["checks"][0]["ok"] is False
+
+
+class TestCheckDeadline:
+    def test_all_pass_exits_zero(self, tmp_path):
+        code, results = check_deadline(
+            [write_spec(tmp_path / "a.json"), write_spec(tmp_path / "b.json")]
+        )
+        assert code == 0
+        assert all(r["ok"] for r in results)
+
+    def test_any_miss_exits_nonzero(self, tmp_path):
+        good = write_spec(tmp_path / "good.json")
+        bad = write_spec(tmp_path / "bad.json", budget={"p99_ms": 1e-9})
+        code, results = check_deadline([good, bad])
+        assert code == 1
+        assert [r["ok"] for r in results] == [True, False]

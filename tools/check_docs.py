@@ -31,7 +31,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: Files whose ```python blocks are executed (repo-relative).
-EXECUTABLE_DOCS = ("docs/SERVING.md", "docs/API.md", "docs/STREAMING.md")
+EXECUTABLE_DOCS = (
+    "docs/SERVING.md",
+    "docs/API.md",
+    "docs/STREAMING.md",
+    "docs/PERFORMANCE.md",
+)
 
 #: Markdown inline links: [text](target).  Good enough for these docs —
 #: no reference-style links or angle-bracket autolinks are used.
