@@ -16,6 +16,7 @@ __all__ = [
     "EmptyModelError",
     "ModelFormatError",
     "CalibrationError",
+    "BackpressureError",
 ]
 
 
@@ -86,4 +87,14 @@ class CalibrationError(ReproError, ValueError):
     understand, malformed knob values, and workload specs whose target
     or budget fields are missing or out of range
     (see :mod:`repro.tuning`).
+    """
+
+
+class BackpressureError(ReproError, RuntimeError):
+    """Raised when a serving queue rejects a request under admission control.
+
+    The serving tier bounds every per-model request queue; a submit
+    against a full queue fails fast with this error instead of growing
+    the queue without limit.  The HTTP front end maps it to a
+    ``429 Too Many Requests`` response (see :mod:`repro.serve.server`).
     """

@@ -14,6 +14,9 @@ Usage::
     python -m repro.experiments serve --model model.npz [--input -]
     python -m repro.experiments serve --model model.npz --stream \\
         [--checkpoint CKPT.npz] [--checkpoint-every N]
+    python -m repro.experiments serve-http --model NAME=model.npz \\
+        [--model NAME2=other.npz ...] [--host H] [--port P] \\
+        [--batch-window-ms W] [--batch-max B] [--max-queue Q]
     python -m repro.experiments calibrate [--fast] [--out CALIBRATION.json] \\
         [--report REPORT.json]
     python -m repro.experiments check-deadline --workload SPEC.json \\
@@ -29,6 +32,13 @@ JSONL prediction requests from stdin or a file; with ``--stream`` it
 also learns incrementally from records carrying a ``"target"`` field,
 checkpointing atomically (see ``docs/SERVING.md`` for the model format
 and ``docs/STREAMING.md`` for the streaming protocol).
+
+``serve-http`` is the network tier: one process serves *every*
+``--model NAME=PATH`` over HTTP with adaptive micro-batching (concurrent
+requests coalesce into single kernel calls, bit-identical to sequential
+serving), bounded-queue admission control (429 on overload) and a
+zero-downtime ``:swap`` endpoint for hot model replacement — see
+``docs/SERVING.md`` for the full walkthrough.
 
 Runtime flags (see ``docs/REPRODUCING.md`` for per-artifact guidance):
 
@@ -236,10 +246,15 @@ def _run_train(args: argparse.Namespace) -> None:
 
 
 def _json_safe(value) -> object:
-    """Coerce a prediction to a JSON-serialisable scalar."""
-    if isinstance(value, (np.integer, np.floating, np.bool_)):
-        return value.item()
-    return value
+    """Coerce a prediction to a JSON-serialisable scalar.
+
+    Delegates to :func:`repro.serve.server.json_scalar` — the JSONL loop
+    and the HTTP tier must serialise identically, or transcripts from
+    the two paths would not compare.
+    """
+    from ..serve.server import json_scalar
+
+    return json_scalar(value)
 
 
 def _finite_number(value) -> bool:
@@ -316,6 +331,11 @@ def _run_serve(args: argparse.Namespace) -> None:
     """
     if not args.model:
         raise SystemExit("serve requires --model MODEL.npz")
+    if len(args.model) > 1:
+        raise SystemExit(
+            "serve takes exactly one --model; use serve-http for multi-model serving"
+        )
+    model_path = args.model[0]
     if args.input == "-":
         stream = sys.stdin
     else:
@@ -332,10 +352,10 @@ def _run_serve(args: argparse.Namespace) -> None:
             if args.stream:
                 from ..serve import OnlineLearner, TrainedPipeline, load_model
 
-                pipeline = load_model(args.model)
+                pipeline = load_model(model_path)
                 if not isinstance(pipeline, TrainedPipeline):
                     raise InvalidParameterError(
-                        f"{args.model} holds a {type(pipeline).__name__}, not a "
+                        f"{model_path} holds a {type(pipeline).__name__}, not a "
                         "TrainedPipeline; wrap bare models in a pipeline to serve them"
                     )
                 learner = OnlineLearner(
@@ -344,13 +364,13 @@ def _run_serve(args: argparse.Namespace) -> None:
                 engine = learner.engine
             else:
                 engine = InferenceEngine.from_path(
-                    args.model, workers=args.workers, backend=args.kernel
+                    model_path, workers=args.workers, backend=args.kernel
                 )
         except (InvalidParameterError, ModelFormatError) as exc:
-            raise SystemExit(f"cannot load --model {args.model}: {exc}") from exc
+            raise SystemExit(f"cannot load --model {model_path}: {exc}") from exc
         mode = "stream-serving" if args.stream else "serving"
         print(
-            f"{mode} {engine.kind} model from {args.model} "
+            f"{mode} {engine.kind} model from {model_path} "
             f"(d={engine.pipeline.dim}, {engine.num_features} feature(s)/record)",
             file=sys.stderr,
         )
@@ -434,6 +454,69 @@ def _run_serve(args: argparse.Namespace) -> None:
             stream.close()
 
 
+def _run_serve_http(args: argparse.Namespace) -> None:
+    """Serve every ``--model NAME=PATH`` over HTTP with micro-batching.
+
+    Binds the asyncio front end (:mod:`repro.serve.server`), prints the
+    bound address (``--port 0`` picks an ephemeral port — scripts parse
+    the printed line), and serves until interrupted.  Concurrent
+    requests to the same model coalesce into single kernel calls
+    (bit-identical to sequential serving); ``POST
+    /v1/models/NAME:swap`` hot-swaps a model with zero downtime.
+    """
+    from ..serve import ModelRegistry, ServerThread
+
+    if not args.model:
+        raise SystemExit("serve-http requires at least one --model NAME=MODEL.npz")
+    registry = ModelRegistry(workers=args.workers, backend=args.kernel)
+    try:
+        for spec in args.model:
+            name, sep, path = spec.partition("=")
+            if not sep or not name or not path:
+                raise SystemExit(
+                    f"--model must be NAME=MODEL.npz for serve-http, got {spec!r}"
+                )
+            try:
+                registry.register(name, path)
+            except (InvalidParameterError, ModelFormatError) as exc:
+                raise SystemExit(f"cannot load --model {spec}: {exc}") from exc
+            engine = registry.engine(name)
+            print(
+                f"loaded {name}: {engine.kind} model from {path} "
+                f"(d={engine.pipeline.dim}, {engine.num_features} feature(s)/record)",
+                file=sys.stderr,
+            )
+        server = ServerThread(
+            registry,
+            host=args.host,
+            port=args.port,
+            window_ms=args.batch_window_ms,
+            max_batch=args.batch_max,
+            max_queue=args.max_queue,
+        ).start()
+        try:
+            print(
+                f"serving {len(registry)} model(s) on "
+                f"http://{server.host}:{server.port}",
+                flush=True,
+            )
+            import time as _time
+
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        finally:
+            try:
+                server.stop()
+            except KeyboardInterrupt:
+                # A second Ctrl-C mid-drain: finish the teardown anyway
+                # so the port and worker pools are released cleanly.
+                server.stop()
+    finally:
+        registry.close()
+
+
 def _run_calibrate(args: argparse.Namespace) -> None:
     """Measure this host and write the calibration artifact.
 
@@ -497,6 +580,7 @@ _TARGETS = {
     "figure8": _print_figure8,
     "train": _run_train,
     "serve": _run_serve,
+    "serve-http": _run_serve_http,
     "calibrate": _run_calibrate,
     "check-deadline": _run_check_deadline,
 }
@@ -546,8 +630,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="where `train` writes the model artifact "
                               "(required) and `calibrate` writes the "
                               "calibration artifact (default: calibration.json)")
-    serving.add_argument("--model", default=None, metavar="MODEL.npz",
-                         help="model artifact `serve` loads (required)")
+    serving.add_argument("--model", action="append", default=None,
+                         metavar="MODEL.npz",
+                         help="model artifact `serve` loads (required); for "
+                              "`serve-http` repeatable NAME=MODEL.npz pairs — "
+                              "every named model is served from one process")
     serving.add_argument("--input", default="-",
                          help="JSONL request source for `serve`: a path, or - for stdin")
     serving.add_argument("--batch-size", type=int, default=1,
@@ -584,6 +671,26 @@ def main(argv: list[str] | None = None) -> int:
     streaming.add_argument("--checkpoint-every", type=int, default=8,
                            help="checkpoint interval for --checkpoint "
                                 "(default: 8)")
+    http = parser.add_argument_group("HTTP serving (serve-http target)")
+    http.add_argument("--host", default="127.0.0.1",
+                      help="bind address for serve-http (default: 127.0.0.1)")
+    http.add_argument("--port", type=int, default=8094,
+                      help="bind port for serve-http; 0 picks an ephemeral "
+                           "port and prints it (default: 8094)")
+    http.add_argument("--batch-window-ms", type=float, default=None,
+                      help="micro-batch coalescing window in ms (default: "
+                           "REPRO_SERVE_BATCH_WINDOW_MS env, then the "
+                           "calibration artifact's serve.batch_window_ms, "
+                           "then 2.0); answers are bit-identical for any "
+                           "value")
+    http.add_argument("--batch-max", type=int, default=None,
+                      help="max requests coalesced into one kernel call "
+                           "(default: REPRO_SERVE_BATCH_MAX env, then "
+                           "serve.batch_max, then 32); 1 disables coalescing")
+    http.add_argument("--max-queue", type=int, default=None,
+                      help="max in-flight requests per model before 429 "
+                           "backpressure (default: REPRO_SERVE_MAX_QUEUE env, "
+                           "then serve.max_queue, then 256)")
     tuning = parser.add_argument_group("tuning (calibrate / check-deadline targets)")
     tuning.add_argument("--report", default=None, metavar="REPORT.json",
                         help="where `calibrate` writes the raw measurement "
@@ -599,6 +706,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--chunk-size must be positive, got {args.chunk_size}")
     if args.checkpoint_every < 1:
         parser.error(f"--checkpoint-every must be positive, got {args.checkpoint_every}")
+    if args.port < 0:
+        parser.error(f"--port must be >= 0, got {args.port}")
+    if args.batch_window_ms is not None and args.batch_window_ms < 0:
+        parser.error(f"--batch-window-ms must be >= 0, got {args.batch_window_ms}")
+    if args.batch_max is not None and args.batch_max < 1:
+        parser.error(f"--batch-max must be positive, got {args.batch_max}")
+    if args.max_queue is not None and args.max_queue < 1:
+        parser.error(f"--max-queue must be positive, got {args.max_queue}")
     if args.workers is None:
         # Unconfigured callers get the calibrated default (builtin: 1);
         # an explicit --workers (incl. 0 = one per CPU) passes through.

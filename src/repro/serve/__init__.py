@@ -15,13 +15,27 @@ servable:
   pipeline once and answers single/micro-batched predict calls, with
   optional :class:`~repro.runtime.pool.WorkerPool` sharding;
 * :mod:`repro.serve.online` — :class:`OnlineLearner`, incremental
-  add/subtract/merge updates on a live model plus atomic checkpoints.
+  add/subtract/merge updates on a live model plus atomic checkpoints;
+* :mod:`repro.serve.registry` — :class:`ModelRegistry`, named
+  multi-model serving with zero-downtime hot swap and lease-based
+  drain;
+* :mod:`repro.serve.batching` — :class:`MicroBatcher`, the adaptive
+  scheduler that coalesces concurrent requests into single kernel
+  calls, bit-identical to sequential serving;
+* :mod:`repro.serve.server` — :class:`ServeServer` /
+  :class:`ServerThread`, the asyncio HTTP front end (multi-model
+  routing, 429 backpressure, ``:swap`` endpoint);
+* :mod:`repro.serve.replay` — seeded trace generation, concurrent
+  replay and the sequential ``predict_one`` oracle used to prove the
+  batched path bit-identical.
 
 The CLI surface lives one layer up: ``python -m repro.experiments train
---out model.npz`` and ``… serve --model model.npz --input -`` (see
+--out model.npz``, ``… serve --model model.npz --input -`` and
+``… serve-http --model name=model.npz`` (see
 :mod:`repro.experiments.serving` and ``docs/SERVING.md``).
 """
 
+from .batching import MicroBatcher
 from .engine import InferenceEngine
 from .online import OnlineLearner
 from .persist import (
@@ -32,6 +46,19 @@ from .persist import (
     save_model,
 )
 from .pipeline import TrainedPipeline
+from .registry import EngineLease, ModelRegistry
+from .replay import (
+    HTTPReplayClient,
+    ReplayReport,
+    TraceRequest,
+    generate_trace,
+    load_trace,
+    oracle_transcript,
+    replay,
+    replay_async,
+    save_trace,
+)
+from .server import ServerThread, ServeServer, json_scalar
 
 __all__ = [
     "FORMAT_NAME",
@@ -42,4 +69,19 @@ __all__ = [
     "TrainedPipeline",
     "InferenceEngine",
     "OnlineLearner",
+    "ModelRegistry",
+    "EngineLease",
+    "MicroBatcher",
+    "ServeServer",
+    "ServerThread",
+    "json_scalar",
+    "TraceRequest",
+    "ReplayReport",
+    "generate_trace",
+    "save_trace",
+    "load_trace",
+    "replay",
+    "replay_async",
+    "oracle_transcript",
+    "HTTPReplayClient",
 ]

@@ -127,6 +127,12 @@ class InferenceEngine:
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""
         self._pool.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (the registry's drain marker)."""
+        return getattr(self, "_closed", False)
 
     def __enter__(self) -> "InferenceEngine":
         return self
@@ -193,6 +199,52 @@ class InferenceEngine:
         return predict_regressor_sharded(
             model, encoded, self._pool, backend=self.backend
         )
+
+    def predict_coalesced(self, records: Any) -> list:
+        """Predict a coalesced micro-batch, bit-identical to ``predict_one``.
+
+        The serving tier's keystone: concurrent in-flight requests are
+        coalesced by the :class:`~repro.serve.batching.MicroBatcher`
+        into **one** call here, so the distance scan runs as a single
+        kernel invocation (one BLAS product under ``"auto"`` for large
+        batches) instead of one scan per request — yet every row of the
+        answer is exactly what a sequential ``predict_one`` would have
+        returned for that record, *including tie-break RNG draws*:
+
+        * position-free tie policies (``"zeros"``/``"ones"`` — the
+          serving default) batch-encode directly, since no record's
+          encoding can depend on its neighbours;
+        * the ``"random"`` policy shares one RNG stream across a batch
+          encode, so here each record is encoded through the same
+          freshly-seeded single-record path ``predict_one`` uses, and
+          only the distance scan is coalesced.
+
+        Returns a plain list of per-record labels/values (scalars), in
+        request order.
+        """
+        batch = self._as_batch(records)
+        if batch.shape[0] == 0:
+            return []
+        if self._encoder is None:
+            # Keyless pipelines quantise each value independently — no
+            # tie draws at all, so batch encoding is trivially exact.
+            encoded = self.pipeline.embedding.encode_packed(batch[:, 0])
+        elif self.pipeline.tie_break in ("zeros", "ones"):
+            pool = None if self._pool.serial else self._pool
+            encoded = self._encoder.encode(
+                batch, seed=self.pipeline.encode_seed, packed=True, pool=pool
+            )
+        else:
+            rows = [
+                self._encoder.encode_one(
+                    row, seed=self.pipeline.encode_seed, packed=True
+                )
+                for row in batch
+            ]
+            encoded = PackedHV(
+                np.concatenate([r.data for r in rows], axis=0), self.pipeline.dim
+            )
+        return list(self.pipeline.model.predict(encoded, backend=self.backend))
 
     def predict_one(self, record: Any) -> Any:
         """Predict for exactly one record; returns a scalar label/value.

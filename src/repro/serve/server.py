@@ -1,0 +1,512 @@
+"""Asyncio HTTP front end: many models, micro-batched, backpressured.
+
+``repro serve-http`` turns the single-model stdin/stdout JSONL loop into
+a real network tier: one process serves every model in a
+:class:`~repro.serve.registry.ModelRegistry` over a small HTTP/1.1 API,
+with per-model :class:`~repro.serve.batching.MicroBatcher` scheduling
+(concurrent requests coalesce into single kernel calls, bit-identical
+to sequential serving) and bounded-queue admission control (HTTP 429 on
+overload).  The server is stdlib-only — asyncio streams plus a minimal
+HTTP/1.1 reader with keep-alive — so it runs anywhere the library does.
+
+API surface (all request/response bodies are JSON):
+
+===========================================  =================================
+``GET /healthz``                             liveness + model names
+``GET /v1/models``                           registry listing with metadata
+``POST /v1/models/<name>:predict``           ``{"features": [...]}`` → one
+                                             prediction, or
+                                             ``{"records": [[...], ...]}`` →
+                                             in-order predictions
+``POST /v1/models/<name>:swap``              ``{"path": "model.npz"}`` —
+                                             zero-downtime hot swap
+===========================================  =================================
+
+Error mapping: malformed requests → 400, unknown model/route → 404,
+admission-control rejection → 429 (body carries ``"backpressure": true``
+so clients can retry), internal faults → 500.  Every error body is
+``{"error": "..."}``.
+
+:class:`ServerThread` runs the whole stack (event loop, server,
+batchers) in a background thread — the harness tests, the docs
+walkthrough and the concurrency benchmark all drive a real socket
+server through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import math
+import os
+import threading
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import BackpressureError, InvalidParameterError, ReproError
+from .batching import MicroBatcher
+from .registry import ModelRegistry
+
+__all__ = ["ServeServer", "ServerThread", "json_scalar"]
+
+#: Private test hook: seconds to sleep between building a swapped-in
+#: engine and flipping the registry pointer.  Lets the hot-swap tests
+#: park a server deterministically *mid-swap* (e.g. to ``kill -9`` it
+#: there); never set outside tests.
+_SWAP_HOLD_ENV = "_REPRO_SERVE_SWAP_HOLD_S"
+
+#: Request bodies above this are rejected outright (1 MiB is ~16k
+#: float features — far beyond any legitimate record batch here).
+_MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def json_scalar(value: Any) -> Any:
+    """Coerce a model prediction to a JSON-serialisable scalar.
+
+    The one canonical scalar mapping shared by the HTTP server, the
+    JSONL serve loop, the replay oracle and the benchmarks — responses
+    compared across those paths must be identical *as JSON*, so they
+    must all serialise through the same function.
+
+    >>> import numpy as np
+    >>> json_scalar(np.float64(2.5)), json_scalar(np.int64(3)), json_scalar("g1")
+    (2.5, 3, 'g1')
+    """
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    return value
+
+
+def _finite_row(row: Any) -> bool:
+    if not isinstance(row, list) or not row:
+        return False
+    for v in row:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            return False
+        if not math.isfinite(float(v)):
+            return False
+    return True
+
+
+class _HTTPError(Exception):
+    """Internal: carries a status + message up to the response writer."""
+
+    def __init__(self, status: int, message: str, **extra: Any) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message, **extra}
+
+
+class ServeServer:
+    """The asyncio serving front end over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        The models to serve.  The server does **not** own the registry —
+        close it yourself after :meth:`stop` (the CLI and
+        :class:`ServerThread` both do).
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    window_ms, max_batch, max_queue:
+        Micro-batching knobs forwarded to every per-model
+        :class:`~repro.serve.batching.MicroBatcher`; ``None`` resolves
+        through the calibration chain.
+
+    Use :meth:`start` / :meth:`stop` from a running event loop, or
+    :class:`ServerThread` for a synchronous harness.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_ms: float | None = None,
+        max_batch: int | None = None,
+        max_queue: int | None = None,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._window_ms = window_ms
+        self._max_batch = max_batch
+        self._max_queue = max_queue
+        self._server: asyncio.AbstractServer | None = None
+        self._batchers: dict[str, MicroBatcher] = {}
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> "ServeServer":
+        """Bind the socket and spawn one micro-batcher per model."""
+        for name in self.registry.names():
+            batcher = MicroBatcher(
+                self.registry,
+                name,
+                window_ms=self._window_ms,
+                max_batch=self._max_batch,
+                max_queue=self._max_queue,
+            )
+            await batcher.start()
+            self._batchers[name] = batcher
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self._requested_port
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, drain every batcher, release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for batcher in self._batchers.values():
+            await batcher.stop()
+        self._batchers.clear()
+
+    async def __aenter__(self) -> "ServeServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    def stats(self) -> dict[str, dict]:
+        """Per-model scheduler counters (requests, batches, rejections)."""
+        return {name: dict(b.stats) for name, b in self._batchers.items()}
+
+    # -- HTTP plumbing ---------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except _HTTPError as exc:
+                    status, payload = exc.status, exc.payload
+                except BackpressureError as exc:
+                    status, payload = 429, {"error": str(exc), "backpressure": True}
+                except ReproError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    status, payload = 500, {"error": f"internal error: {exc}"}
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, _HTTPError):
+            pass  # client went away or spoke garbage; drop the connection
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HTTPError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                return None
+            key, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HTTPError(400, "malformed Content-Length") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise _HTTPError(413, f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                raise _HTTPError(405, "healthz is GET-only")
+            return 200, {"ok": True, "models": self.registry.names()}
+        if path == "/v1/models":
+            if method != "GET":
+                raise _HTTPError(405, "model listing is GET-only")
+            return 200, {"models": self.registry.describe()}
+        if path.startswith("/v1/models/"):
+            tail = path[len("/v1/models/"):]
+            name, sep, action = tail.partition(":")
+            if not sep or action not in ("predict", "swap"):
+                raise _HTTPError(404, f"unknown route {path!r}")
+            if method != "POST":
+                raise _HTTPError(405, f"{action} is POST-only")
+            if name not in self._batchers:
+                raise _HTTPError(404, f"unknown model {name!r}")
+            payload = self._parse_body(body)
+            if action == "predict":
+                return await self._predict(name, payload)
+            return await self._swap(name, payload)
+        raise _HTTPError(404, f"unknown route {path!r}")
+
+    def _parse_body(self, body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HTTPError(400, f"request body is not JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return payload
+
+    def _validated_rows(self, name: str, payload: dict) -> tuple[list, bool]:
+        """Extract ``(rows, batched)`` from a predict body, fully checked.
+
+        Validation happens *before* admission so a malformed record can
+        never poison a coalesced batch: everything the scheduler queues
+        is already known to be a finite row of the right arity.
+        """
+        num_features = self.registry.engine(name).num_features
+        if "features" in payload and "records" in payload:
+            raise _HTTPError(400, "send either 'features' or 'records', not both")
+        if "features" in payload:
+            rows, batched = [payload["features"]], False
+        elif "records" in payload:
+            rows = payload["records"]
+            if not isinstance(rows, list) or not rows:
+                raise _HTTPError(400, "'records' must be a non-empty list of rows")
+            batched = True
+        else:
+            raise _HTTPError(400, "predict body needs 'features' or 'records'")
+        for i, row in enumerate(rows):
+            if not _finite_row(row):
+                raise _HTTPError(
+                    400, f"record {i} must be a list of finite numbers"
+                )
+            if len(row) != num_features:
+                raise _HTTPError(
+                    400,
+                    f"record {i} has {len(row)} feature(s); "
+                    f"model {name!r} takes {num_features}",
+                )
+        return rows, batched
+
+    async def _predict(self, name: str, payload: dict) -> tuple[int, dict]:
+        rows, batched = self._validated_rows(name, payload)
+        batcher = self._batchers[name]
+        if batched:
+            # Submit concurrently: the scheduler coalesces the rows
+            # (plus any other in-flight traffic) into shared batches.
+            values = await asyncio.gather(*(batcher.submit(row) for row in rows))
+            return 200, {
+                "model": name,
+                "predictions": [json_scalar(v) for v in values],
+            }
+        value = await batcher.submit(rows[0])
+        return 200, {"model": name, "prediction": json_scalar(value)}
+
+    async def _swap(self, name: str, payload: dict) -> tuple[int, dict]:
+        path = payload.get("path")
+        if not isinstance(path, str) or not path:
+            raise _HTTPError(400, "swap body needs a 'path' string")
+        loop = asyncio.get_running_loop()
+
+        def do_swap():
+            hold = float(os.environ.get(_SWAP_HOLD_ENV, "0") or 0)
+            if hold > 0:  # deterministic mid-swap parking spot for tests
+                import time
+
+                time.sleep(hold)
+            return self.registry.swap(name, path)
+
+        try:
+            entry = await loop.run_in_executor(None, do_swap)
+        except ReproError as exc:
+            raise _HTTPError(400, f"swap failed: {exc}") from None
+        return 200, {
+            "model": name,
+            "swapped": True,
+            "generation": entry.generation,
+            "source": entry.source,
+        }
+
+
+class ServerThread:
+    """Run a :class:`ServeServer` (and its event loop) in a thread.
+
+    The synchronous harness used by the tests, the docs walkthrough and
+    the benchmarks: enter the context manager, get a live socket server,
+    talk to it with :meth:`request`, and leave — the loop, the server
+    and the batchers are torn down on exit.  The registry is owned by
+    the caller unless ``own_registry=True``.
+
+    Example
+    -------
+    >>> from repro.experiments.config import RegressionConfig
+    >>> from repro.experiments.serving import train_regression_pipeline
+    >>> from repro.serve import ModelRegistry, ServerThread
+    >>> pipe = train_regression_pipeline("circular", config=RegressionConfig(dim=128, seed=3))
+    >>> registry = ModelRegistry()
+    >>> _ = registry.register("mars", pipe)
+    >>> with ServerThread(registry, own_registry=True) as server:
+    ...     status, body = server.request("GET", "/healthz")
+    >>> status, body["models"]
+    (200, ['mars'])
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_ms: float | None = None,
+        max_batch: int | None = None,
+        max_queue: int | None = None,
+        own_registry: bool = False,
+    ) -> None:
+        self.server = ServeServer(
+            registry,
+            host=host,
+            port=port,
+            window_ms=window_ms,
+            max_batch=max_batch,
+            max_queue=max_queue,
+        )
+        self._own_registry = own_registry
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            self.stop()
+            raise self._startup_error
+        if self._loop is None:  # pragma: no cover - defensive
+            raise RuntimeError("server thread failed to start")
+        return self
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+            self._loop = loop
+            self._started.set()
+            loop.run_forever()
+            loop.run_until_complete(self.server.stop())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._started.set()
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                # The batchers run kernels on the loop's default executor;
+                # join its threads or they outlive the server (leak-checked
+                # by the serve test suite).
+                loop.run_until_complete(loop.shutdown_default_executor())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+    def stop(self) -> None:
+        """Stop the server and join the loop thread (idempotent)."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._loop = None
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+        if self._own_registry:
+            self.server.registry.close()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- convenience -----------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None, timeout: float = 30.0
+    ) -> tuple[int, dict]:
+        """One synchronous JSON request against the live server.
+
+        Returns ``(status_code, decoded_body)``.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            conn.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            return response.status, json.loads(raw.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServerThread({self.host}:{self.port})"

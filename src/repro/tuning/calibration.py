@@ -91,6 +91,11 @@ KNOB_SCHEMA: dict[str, dict[str, Callable[[Any], bool]]] = {
     "runtime": {
         "workers": _positive_int,
     },
+    "serve": {
+        "batch_window_ms": _positive_real,
+        "batch_max": _positive_int,
+        "max_queue": _positive_int,
+    },
 }
 
 

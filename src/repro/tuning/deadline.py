@@ -33,6 +33,14 @@ Targets:
   process high-water mark, not an in-process estimate.  Budgets:
   ``peak_rss_mb``, ``peak_over_unpacked_max`` (peak as a fraction of
   the unpacked encoded split a monolithic fit would materialise).
+* ``serve_concurrency`` — replays a seeded mixed-model trace through
+  the micro-batching scheduler (:mod:`repro.serve.replay`) and measures
+  per-request latency under concurrency.  Budgets: ``p50_ms``,
+  ``p99_ms``.  The replayed transcript is additionally checked
+  **bit-identically** against the sequential ``predict_one`` oracle —
+  a mismatch is a structural failure and raises
+  :class:`~repro.exceptions.CalibrationError` (exit non-zero in CI)
+  rather than a budget miss.
 """
 
 from __future__ import annotations
@@ -58,6 +66,7 @@ __all__ = ["WorkloadSpec", "load_workload", "run_workload", "check_deadline"]
 _TARGET_BUDGETS = {
     "serve_latency": ("p50_ms", "p99_ms", "fastpath_vs_batch_max"),
     "stream_rss": ("peak_rss_mb", "peak_over_unpacked_max"),
+    "serve_concurrency": ("p50_ms", "p99_ms"),
 }
 
 
@@ -238,6 +247,103 @@ def _run_stream_rss(spec: WorkloadSpec) -> dict:
     }
 
 
+def _run_serve_concurrency(spec: WorkloadSpec) -> dict:
+    """Latency of a replayed concurrent trace through the micro-batcher.
+
+    Trains a classification and a regression pipeline at the spec's
+    shape, generates a seeded Poisson-arrival mixed trace, replays it
+    concurrently through per-model
+    :class:`~repro.serve.batching.MicroBatcher` schedulers, and — before
+    any budget check — asserts the full transcript equals the sequential
+    ``predict_one`` oracle bit for bit.  Coalescing that changes even a
+    single answer is a broken build, not a slow one, so the mismatch
+    raises :class:`~repro.exceptions.CalibrationError` directly.
+    """
+    import asyncio
+    import math
+
+    from ..experiments.config import ClassificationConfig, RegressionConfig
+    from ..experiments.serving import (
+        train_classification_pipeline,
+        train_regression_pipeline,
+    )
+    from ..serve import (
+        InferenceEngine,
+        MicroBatcher,
+        generate_trace,
+        oracle_transcript,
+        replay_async,
+    )
+    from ..serve.registry import ModelRegistry
+
+    shape = spec.shape
+    dim = int(shape.get("dim", 1024))
+    requests = int(shape.get("requests", 128))
+    rate_hz = float(shape.get("rate_hz", 2000.0))
+    speedup = float(shape.get("speedup", 1.0))
+    seed = int(shape.get("seed", 17))
+    two_pi = 2.0 * math.pi
+
+    cls_pipe = train_classification_pipeline(
+        shape.get("task", "suturing"), config=ClassificationConfig(dim=dim, seed=7)
+    )
+    reg_pipe = train_regression_pipeline(config=RegressionConfig(dim=dim, seed=3))
+    trace = generate_trace(
+        {
+            "gesture": (cls_pipe.num_features, (0.0, two_pi)),
+            "mars_express": (reg_pipe.num_features, (0.0, two_pi)),
+        },
+        requests,
+        seed=seed,
+        rate_hz=rate_hz,
+    )
+    with InferenceEngine(cls_pipe) as e1, InferenceEngine(reg_pipe) as e2:
+        oracle = oracle_transcript(trace, {"gesture": e1, "mars_express": e2})
+
+    async def run():
+        with ModelRegistry() as registry:
+            registry.register("gesture", cls_pipe)
+            registry.register("mars_express", reg_pipe)
+            batchers = {
+                name: MicroBatcher(registry, name) for name in registry.names()
+            }
+            for batcher in batchers.values():
+                await batcher.start()
+            try:
+                report = await replay_async(
+                    trace,
+                    lambda model, features: batchers[model].submit(features),
+                    speedup=speedup,
+                )
+            finally:
+                for batcher in batchers.values():
+                    await batcher.stop()
+            return report, {n: dict(b.stats) for n, b in batchers.items()}
+
+    report, stats = asyncio.run(run())
+    if report.errors:
+        raise CalibrationError(
+            f"serve_concurrency replay failed {len(report.errors)} request(s): "
+            f"{sorted(report.errors.items())[:3]}"
+        )
+    if report.responses != oracle:
+        bad = sum(1 for a, b in zip(report.responses, oracle) if a != b)
+        raise CalibrationError(
+            f"serve_concurrency transcript is NOT bit-identical to the "
+            f"sequential predict_one oracle ({bad}/{len(oracle)} responses "
+            "differ) — the micro-batcher broke the bit-identity contract"
+        )
+    return {
+        "requests": report.count,
+        "p50_ms": round(report.p50_ms, 3),
+        "p99_ms": round(report.p99_ms, 3),
+        "throughput_rps": round(report.throughput_rps, 1),
+        "max_batch_seen": max(s["max_batch_seen"] for s in stats.values()),
+        "batches": sum(s["batches"] for s in stats.values()),
+        "oracle_match": True,
+    }
+
+
 #: Which measured metric each budget key gates on (and that lower is
 #: better for all of them — every budget is an upper bound).
 _BUDGET_METRICS = {
@@ -258,10 +364,12 @@ def run_workload(spec: WorkloadSpec) -> dict:
     ``REPRO_CALIBRATION`` at an artifact first to gate the calibrated
     setup (subprocess targets inherit the environment).
     """
-    if spec.target == "serve_latency":
-        measured = _run_serve_latency(spec)
-    else:
-        measured = _run_stream_rss(spec)
+    runners = {
+        "serve_latency": _run_serve_latency,
+        "stream_rss": _run_stream_rss,
+        "serve_concurrency": _run_serve_concurrency,
+    }
+    measured = runners[spec.target](spec)
     checks = []
     for key, budget in spec.budget.items():
         value = measured[_BUDGET_METRICS[key]]

@@ -11,7 +11,11 @@ sweeps:
 * the **streaming chunk curve** — end-to-end streamed training time as
   a function of the chunk size;
 * the **worker-** and **thread-scaling** curves for the encode pool and
-  the ``xor-mt`` backend.
+  the ``xor-mt`` backend;
+* the **serve batching curve** — per-row cost of a coalesced
+  ``predict_coalesced`` micro-batch against the single-request path,
+  from which the serving tier's ``serve.batch_max`` /
+  ``serve.batch_window_ms`` knobs are derived.
 
 From the surface it derives the dispatch thresholds by explicit
 minimisation: every candidate ``(gemm_crossover, xor_mt_min_cells)``
@@ -38,6 +42,7 @@ import numpy as np
 
 from ..hdc import kernels as _kernels
 from ..hdc.packed import DEFAULT_CELL_BUDGET, PackedHV, packed_width
+from ..serve import batching as _serve_defaults
 from .calibration import Calibration
 
 __all__ = ["calibrate", "default_knobs"]
@@ -75,6 +80,10 @@ _TOPK_POINTS = ((8, 2000, 10), (64, 1000, 5))
 #: Chunk-size candidates for the streamed-training curve.
 _CHUNK_CANDIDATES = (256, 512, 1024, 2048)
 
+#: Coalesced-batch-size candidates for the serve batching curve.
+_SERVE_BATCH_CANDIDATES = (8, 16, 32, 64)
+_FAST_SERVE_BATCH_CANDIDATES = (8, 16, 32)
+
 #: The fixed backends the sweep times (``auto`` is timed afterwards,
 #: with the derived thresholds active).
 _FIXED_BACKENDS = ("xor", "xor-mt", "gemm")
@@ -98,6 +107,11 @@ def default_knobs() -> dict:
         },
         "streaming": {"chunk_rows": 1024},
         "runtime": {"workers": 1},
+        "serve": {
+            "batch_window_ms": _serve_defaults.DEFAULT_BATCH_WINDOW_MS,
+            "batch_max": _serve_defaults.DEFAULT_BATCH_MAX,
+            "max_queue": _serve_defaults.DEFAULT_MAX_QUEUE,
+        },
     }
 
 
@@ -326,6 +340,54 @@ def _sweep_chunks(fast: bool, repeats: int) -> dict:
             "chosen_chunk_rows": chosen}
 
 
+def _sweep_serve(fast: bool, repeats: int) -> dict:
+    """Per-row cost of coalesced micro-batches vs the single-request path.
+
+    Times :meth:`~repro.serve.engine.InferenceEngine.predict_coalesced`
+    over the candidate batch sizes and ``predict_one`` as the baseline,
+    then derives the serving knobs:
+
+    * ``batch_max`` — the candidate with the lowest per-row cost (the
+      point past which coalescing harder stops paying on this host);
+    * ``batch_window_ms`` — a few single-request service times, clamped
+      to ``[0.5, 10]`` ms: holding a batch open longer than requests
+      take to answer only adds latency, never throughput.
+    """
+    from ..experiments.config import ClassificationConfig
+    from ..experiments.serving import train_classification_pipeline
+    from ..serve.engine import InferenceEngine
+
+    dim = 512 if fast else 2048
+    candidates = _FAST_SERVE_BATCH_CANDIDATES if fast else _SERVE_BATCH_CANDIDATES
+    pipeline = train_classification_pipeline(
+        "suturing", config=ClassificationConfig(dim=dim, seed=9)
+    )
+    rows = np.random.default_rng(7).uniform(
+        0.0, 2.0 * np.pi, (max(candidates), pipeline.num_features)
+    )
+    curve = {}
+    with InferenceEngine(pipeline) as engine:
+        single_seconds = _time(lambda: engine.predict_one(rows[0]), repeats)
+        for size in candidates:
+            batch = rows[:size]
+            seconds = _time(lambda b=batch: engine.predict_coalesced(b), repeats)
+            curve[str(size)] = {
+                "seconds": seconds,
+                "per_row_seconds": seconds / size,
+                "speedup_vs_singles": round(single_seconds * size / seconds, 2),
+            }
+    chosen_max = int(min(curve, key=lambda k: curve[k]["per_row_seconds"]))
+    window_ms = min(10.0, max(0.5, round(4.0 * single_seconds * 1e3, 3)))
+    return {
+        "dim": dim,
+        "single_seconds": single_seconds,
+        "batches": curve,
+        "chosen_batch_max": chosen_max,
+        "chosen_window_ms": window_ms,
+        "coalescing_speedup_at_chosen": curve[str(chosen_max)]["speedup_vs_singles"],
+    }
+
+
 def _sweep_workers(fast: bool, repeats: int, cpus: int) -> dict:
     """Whole-batch encode time per worker-count candidate."""
     from ..basis import CircularBasis
@@ -377,6 +439,7 @@ def calibrate(
     topk = _sweep_topk(dim, repeats, seed + 2)
     chunks = _sweep_chunks(fast, repeats)
     workers = _sweep_workers(fast, repeats, cpus)
+    serve = _sweep_serve(fast, repeats)
 
     knobs = {
         "kernels": {
@@ -387,6 +450,11 @@ def calibrate(
         },
         "streaming": {"chunk_rows": chunks["chosen_chunk_rows"]},
         "runtime": {"workers": workers["chosen_workers"]},
+        "serve": {
+            "batch_window_ms": serve["chosen_window_ms"],
+            "batch_max": serve["chosen_batch_max"],
+            "max_queue": _serve_defaults.DEFAULT_MAX_QUEUE,
+        },
     }
     calibration = Calibration.from_knobs(
         knobs, meta={"mode": "fast" if fast else "full", "dim": dim, "seed": seed}
@@ -402,6 +470,7 @@ def calibrate(
         "topk": topk,
         "streaming_chunk": chunks,
         "worker_scaling": workers,
+        "serve_batching": serve,
         "knobs": knobs,
         "auto_worst_over_best": max(p["auto_over_best"] for p in surface),
     }

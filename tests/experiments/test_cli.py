@@ -105,7 +105,7 @@ class TestCLISubprocess:
         sorted(
             t
             for t in _TARGETS
-            if t not in ("train", "serve", "calibrate", "check-deadline")
+            if t not in ("train", "serve", "serve-http", "calibrate", "check-deadline")
         ),
     )
     def test_fast_smoke(self, target, tmp_path):

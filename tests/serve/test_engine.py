@@ -48,17 +48,17 @@ class TestClassificationServing:
     ):
         path = tmp_path / "clf.npz"
         save_model(classification_pipeline, path)
-        live = InferenceEngine(classification_pipeline)
-        reloaded = InferenceEngine.from_path(path)
-        assert reloaded.predict(gesture_records) == live.predict(gesture_records)
-        assert np.array_equal(
-            reloaded.encode(gesture_records).data, live.encode(gesture_records).data
-        )
+        with InferenceEngine(classification_pipeline) as live, \
+                InferenceEngine.from_path(path) as reloaded:
+            assert reloaded.predict(gesture_records) == live.predict(gesture_records)
+            assert np.array_equal(
+                reloaded.encode(gesture_records).data, live.encode(gesture_records).data
+            )
 
     def test_single_record_matches_batch(self, classification_pipeline, gesture_records):
-        engine = InferenceEngine(classification_pipeline)
-        batch = engine.predict(gesture_records)
-        singles = [engine.predict_one(row) for row in gesture_records]
+        with InferenceEngine(classification_pipeline) as engine:
+            batch = engine.predict(gesture_records)
+            singles = [engine.predict_one(row) for row in gesture_records]
         assert singles == batch
 
     def test_workers_bit_identical(self, classification_pipeline, gesture_records, tmp_path):
@@ -90,23 +90,23 @@ class TestClassificationServing:
         assert restored.metadata["task"] == "suturing"
 
     def test_wrong_feature_count_rejected(self, classification_pipeline):
-        engine = InferenceEngine(classification_pipeline)
-        with pytest.raises(InvalidParameterError, match="feature"):
-            engine.predict(np.zeros((3, 4)))
+        with InferenceEngine(classification_pipeline) as engine:
+            with pytest.raises(InvalidParameterError, match="feature"):
+                engine.predict(np.zeros((3, 4)))
 
 
 class TestRegressionServing:
     def test_reloaded_engine_is_bit_identical(self, regression_pipeline, tmp_path):
         path = tmp_path / "reg.npz"
         save_model(regression_pipeline, path)
-        live = InferenceEngine(regression_pipeline)
-        reloaded = InferenceEngine.from_path(path)
-        anomalies = np.linspace(0.0, 2 * np.pi, 50)[:, None]
-        assert np.array_equal(reloaded.predict(anomalies), live.predict(anomalies))
+        with InferenceEngine(regression_pipeline) as live, \
+                InferenceEngine.from_path(path) as reloaded:
+            anomalies = np.linspace(0.0, 2 * np.pi, 50)[:, None]
+            assert np.array_equal(reloaded.predict(anomalies), live.predict(anomalies))
 
     def test_predict_one_scalar(self, regression_pipeline):
-        engine = InferenceEngine(regression_pipeline)
-        value = engine.predict_one([1.25])
+        with InferenceEngine(regression_pipeline) as engine:
+            value = engine.predict_one([1.25])
         assert np.isscalar(value) or np.asarray(value).ndim == 0
 
     def test_workers_bit_identical(self, regression_pipeline):

@@ -1,0 +1,345 @@
+"""Zero-downtime hot swap: drain, sustained load, and kill -9 safety.
+
+Three layers of the swap contract:
+
+* the **lease/drain protocol** in isolation — a swapped-out engine stays
+  open exactly until its last in-flight lease returns;
+* a swap landing **under sustained load** — every request is answered
+  (none dropped), every answer comes from exactly one model generation
+  (old or new, never a mix), and traffic after the flip is served by the
+  new model;
+* **crash safety** — ``kill -9`` parked *mid-swap* (via the private
+  ``_REPRO_SERVE_SWAP_HOLD_S`` hook) corrupts nothing on disk, and a
+  restarted server configured with the original paths serves the old
+  model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.config import RegressionConfig
+from repro.experiments.serving import train_regression_pipeline
+from repro.serve import (
+    InferenceEngine,
+    MicroBatcher,
+    ModelRegistry,
+    OnlineLearner,
+    ServerThread,
+    json_scalar,
+    save_model,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+PROBE = np.linspace(0.0, 2 * np.pi, 24)[:, None]
+
+
+@pytest.fixture(scope="module")
+def pipeline_a():
+    return train_regression_pipeline(
+        "circular", config=RegressionConfig(dim=128, seed=3)
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline_b():
+    """Same shape as ``pipeline_a`` but a different seed, so the two
+    generations are distinguishable on every probe row."""
+    return train_regression_pipeline(
+        "circular", config=RegressionConfig(dim=128, seed=23)
+    )
+
+
+def _transcript(source, rows=PROBE):
+    engine = source if isinstance(source, InferenceEngine) else None
+    if engine is not None:
+        return [json_scalar(engine.predict_one(row)) for row in rows]
+    with InferenceEngine(source) as engine:
+        return [json_scalar(engine.predict_one(row)) for row in rows]
+
+
+class TestDrainProtocol:
+    def test_idle_swap_closes_the_old_engine_immediately(
+        self, pipeline_a, pipeline_b
+    ):
+        with ModelRegistry() as registry:
+            registry.register("m", pipeline_a)
+            old_engine = registry.engine("m")
+            entry = registry.swap("m", pipeline_b)
+            assert old_engine.closed  # nothing in flight: drained instantly
+            assert entry.generation == 2
+            assert registry.engine("m") is not old_engine
+
+    def test_leased_engine_survives_a_swap_until_released(
+        self, pipeline_a, pipeline_b
+    ):
+        with ModelRegistry() as registry:
+            registry.register("m", pipeline_a)
+            lease = registry.lease("m")
+            registry.swap("m", pipeline_b)
+            # The in-flight lease pins the old generation: still open,
+            # still answering with the old model's bits.
+            assert not lease.engine.closed
+            assert _transcript(lease.engine) == _transcript(pipeline_a)
+            assert registry.engine("m") is not lease.engine
+            registry.release(lease)
+            assert lease.engine.closed  # last release = drain complete
+
+    def test_swap_unknown_model_rejected(self, pipeline_a, pipeline_b):
+        with ModelRegistry() as registry:
+            registry.register("m", pipeline_a)
+            with pytest.raises(InvalidParameterError, match="unknown model"):
+                registry.swap("ghost", pipeline_b)
+            assert registry.names() == ["m"]
+
+    def test_generations_count_up_in_describe(self, pipeline_a, pipeline_b):
+        with ModelRegistry() as registry:
+            registry.register("m", pipeline_a)
+            registry.swap("m", pipeline_b)
+            registry.swap("m", pipeline_a)
+            assert registry.describe()["m"]["generation"] == 3
+
+
+class TestSwapUnderLoad:
+    def test_no_drops_and_no_mixed_generations(self, pipeline_a, pipeline_b):
+        """300 requests arriving over ~0.45 s, swap landing ~0.12 s in:
+        every response must match one full generation's oracle for that
+        row, early traffic is old-model, late traffic is new-model, and
+        the old engine is closed once the load drains."""
+        rng = np.random.default_rng(31)
+        rows = rng.uniform(0.0, 2 * np.pi, size=(300, 1))
+        oracle_a = _transcript(pipeline_a, rows)
+        oracle_b = _transcript(pipeline_b, rows)
+        assert oracle_a != oracle_b  # the generations are distinguishable
+        with ModelRegistry() as registry:
+            registry.register("m", pipeline_a)
+            old_engine = registry.engine("m")
+
+            async def run():
+                async with MicroBatcher(
+                    registry, "m", window_ms=1.0, max_batch=8, max_queue=1024
+                ) as batcher:
+                    loop = asyncio.get_running_loop()
+
+                    async def one(i, row):
+                        await asyncio.sleep(i * 0.0015)
+                        return await batcher.submit(row)
+
+                    async def swapper():
+                        await asyncio.sleep(0.12)
+                        await loop.run_in_executor(
+                            None, registry.swap, "m", pipeline_b
+                        )
+
+                    results, _ = await asyncio.gather(
+                        asyncio.gather(*(one(i, r) for i, r in enumerate(rows))),
+                        swapper(),
+                    )
+                    return [json_scalar(v) for v in results]
+
+            got = asyncio.run(run())
+            assert old_engine.closed  # drained after the load passed
+            # Post-swap traffic is served by the new generation.
+            assert _transcript(registry.engine("m")) == _transcript(pipeline_b)
+        from_a = from_b = 0
+        for i, value in enumerate(got):
+            assert value in (oracle_a[i], oracle_b[i]), f"request {i} is neither generation"
+            if value == oracle_a[i]:
+                from_a += 1
+            else:
+                from_b += 1
+        assert from_a > 0 and from_b > 0  # the swap really landed mid-load
+        assert got[0] == oracle_a[0] and got[-1] == oracle_b[-1]
+
+    def test_checkpoint_then_swap_serves_the_updated_model(
+        self, pipeline_a, tmp_path
+    ):
+        """The OnlineLearner → checkpoint → swap loop: a registry entry
+        replaced by a learner's checkpoint answers exactly like the
+        learner did."""
+        fresh = train_regression_pipeline(
+            "circular", config=RegressionConfig(dim=128, seed=3)
+        )
+        with ModelRegistry() as registry:
+            registry.register("m", pipeline_a)
+            before = _transcript(registry.engine("m"))
+            with OnlineLearner(fresh) as learner:
+                # A heavy, far-out-of-distribution update so the swap's
+                # effect is unambiguous on the probe transcript.
+                drift = np.linspace(0.0, 2 * np.pi, 200)[:, None]
+                learner.learn(drift, np.full(200, 9999.0))
+                path = learner.checkpoint(tmp_path / "ckpt.npz")
+                expected = [
+                    json_scalar(learner.engine.predict_one(row)) for row in PROBE
+                ]
+            entry = registry.swap("m", path)
+            assert entry.generation == 2
+            after = _transcript(registry.engine("m"))
+        assert after == expected
+        assert after != before  # the update is visible
+
+    def test_http_swap_endpoint(self, pipeline_a, pipeline_b, tmp_path):
+        b_path = tmp_path / "b.npz"
+        save_model(pipeline_b, b_path)
+        want_a = _transcript(pipeline_a, PROBE[:1])[0]
+        want_b = _transcript(pipeline_b, PROBE[:1])[0]
+        assert want_a != want_b
+        registry = ModelRegistry()
+        registry.register("m", pipeline_a)
+        with ServerThread(registry, own_registry=True) as server:
+            probe = [float(PROBE[0, 0])]
+            status, body = server.request(
+                "POST", "/v1/models/m:predict", {"features": probe}
+            )
+            assert (status, body["prediction"]) == (200, want_a)
+            status, body = server.request(
+                "POST", "/v1/models/m:swap", {"path": str(b_path)}
+            )
+            assert status == 200
+            assert body["swapped"] is True and body["generation"] == 2
+            status, body = server.request(
+                "POST", "/v1/models/m:predict", {"features": probe}
+            )
+            assert (status, body["prediction"]) == (200, want_b)
+            status, body = server.request(
+                "POST", "/v1/models/m:swap", {"path": str(tmp_path / "missing.npz")}
+            )
+            assert status == 400 and "swap failed" in body["error"]
+
+
+# -- kill -9 crash safety (subprocess) -----------------------------------------
+
+def _spawn_server(models: dict, extra_env: dict | None = None):
+    """Start ``repro serve-http`` in a subprocess; return (proc, host, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if extra_env:
+        env.update(extra_env)
+    args = [sys.executable, "-m", "repro.experiments", "serve-http", "--port", "0"]
+    for name, path in models.items():
+        args += ["--model", f"{name}={path}"]
+    proc = subprocess.Popen(
+        args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    line = proc.stdout.readline()  # "serving N model(s) on http://host:port"
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    if not match:
+        proc.kill()
+        proc.wait(timeout=30)
+        raise AssertionError(
+            f"server did not announce a port: {line!r}\n{proc.stderr.read()}"
+        )
+    return proc, match.group(1), int(match.group(2))
+
+
+def _close_pipes(proc):
+    for stream in (proc.stdout, proc.stderr):
+        if stream is not None:
+            stream.close()
+
+
+def _post(host, port, path, payload, timeout=30.0):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            "POST",
+            path,
+            body=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+class TestKillDuringSwap:
+    def test_kill9_mid_swap_leaves_the_old_model_serving(
+        self, pipeline_a, pipeline_b, tmp_path
+    ):
+        a_path, b_path = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_model(pipeline_a, a_path)
+        save_model(pipeline_b, b_path)
+        a_bytes, b_bytes = a_path.read_bytes(), b_path.read_bytes()
+        probe = [2.5]
+        with InferenceEngine.from_path(a_path) as engine:
+            want_a = json_scalar(engine.predict_one(probe))
+
+        # Park the server mid-swap: new engine built, pointer NOT yet
+        # flipped, then SIGKILL — the worst possible instant.
+        proc, host, port = _spawn_server(
+            {"m": a_path}, extra_env={"_REPRO_SERVE_SWAP_HOLD_S": "30"}
+        )
+        try:
+            status, body = _post(host, port, "/v1/models/m:predict", {"features": probe})
+            assert (status, body["prediction"]) == (200, want_a)
+
+            def fire_swap():
+                try:
+                    _post(
+                        host, port, "/v1/models/m:swap",
+                        {"path": str(b_path)}, timeout=60.0,
+                    )
+                except Exception:
+                    pass  # the server dies mid-request by design
+
+            swapper = threading.Thread(target=fire_swap, daemon=True)
+            swapper.start()
+            time.sleep(2.0)  # well inside the 30 s hold window
+            proc.kill()  # SIGKILL: no handlers, no cleanup, nothing
+            proc.wait(timeout=30)
+            swapper.join(timeout=30)
+            assert not swapper.is_alive()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            _close_pipes(proc)
+
+        # Swaps never write: both artifacts are byte-identical on disk.
+        assert a_path.read_bytes() == a_bytes
+        assert b_path.read_bytes() == b_bytes
+
+        # A restart with the original configuration serves the old
+        # model — and a clean swap still works afterwards.
+        proc2, host2, port2 = _spawn_server({"m": a_path})
+        try:
+            status, body = _post(
+                host2, port2, "/v1/models/m:predict", {"features": probe}
+            )
+            assert (status, body["prediction"]) == (200, want_a)
+            status, body = _post(
+                host2, port2, "/v1/models/m:swap", {"path": str(b_path)}
+            )
+            assert status == 200 and body["generation"] == 2
+        finally:
+            proc2.send_signal(signal.SIGINT)
+            try:
+                proc2.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc2.kill()
+                proc2.wait(timeout=30)
+            _close_pipes(proc2)
+        assert proc2.returncode == 0

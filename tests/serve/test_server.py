@@ -1,0 +1,441 @@
+"""Micro-batcher + HTTP front end: concurrency must be invisible.
+
+The serving tier's keystone contract: any interleaving of concurrent
+requests through the adaptive micro-batcher — any batch window, batch
+cap, worker count, pipeline family or tie-break policy — answers every
+request bit-identically to a sequential ``predict_one`` oracle.  The
+HTTP tests then drive the same scheduler through a real socket server:
+routing, validation, backpressure (429) and a ≥64-in-flight mixed-model
+replay against the sequential transcript.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackpressureError
+from repro.serve import (
+    HTTPReplayClient,
+    InferenceEngine,
+    MicroBatcher,
+    ModelRegistry,
+    ServerThread,
+    generate_trace,
+    json_scalar,
+    oracle_transcript,
+    replay_async,
+)
+
+#: The three pipeline families the coalescer must be exact for: keyed
+#: classification ("zeros" ties), keyless regression (no tie draws at
+#: all), and "random"-tie classification (per-record RNG draws — the
+#: case that forbids naive batch encoding).
+PIPELINES = ["classification_pipeline", "regression_pipeline", "random_tie_pipeline"]
+
+
+def _rows(pipeline, n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, pipeline.num_features))
+
+
+def _oracle(pipeline, rows):
+    """Sequential single-record ground truth, json-normalised."""
+    with InferenceEngine(pipeline) as engine:
+        return [json_scalar(engine.predict_one(row)) for row in rows]
+
+
+async def _coalesced(registry, name, rows, *, jitter_seed=None, **knobs):
+    """Submit every row concurrently through one MicroBatcher."""
+    delays = None
+    if jitter_seed is not None:
+        delays = np.random.default_rng(jitter_seed).uniform(0.0, 0.008, len(rows))
+    async with MicroBatcher(registry, name, **knobs) as batcher:
+
+        async def one(i, row):
+            if delays is not None:
+                await asyncio.sleep(float(delays[i]))
+            return await batcher.submit(row)
+
+        values = await asyncio.gather(*(one(i, r) for i, r in enumerate(rows)))
+        stats = dict(batcher.stats)
+    return [json_scalar(v) for v in values], stats
+
+
+class TestCoalescedBitIdentity:
+    """Property tests: interleaving → transcript equality, exactly."""
+
+    @pytest.mark.parametrize("pipeline_fixture", PIPELINES)
+    @pytest.mark.parametrize(
+        "window_ms,max_batch",
+        [(0.0, 4), (1.0, 1), (5.0, 32), (2.0, 7)],
+    )
+    def test_any_knob_setting_matches_sequential_oracle(
+        self, request, pipeline_fixture, window_ms, max_batch
+    ):
+        pipeline = request.getfixturevalue(pipeline_fixture)
+        rows = _rows(pipeline, 48, seed=42)
+        expected = _oracle(pipeline, rows)
+        with ModelRegistry() as registry:
+            registry.register("m", pipeline)
+            got, stats = asyncio.run(
+                _coalesced(
+                    registry, "m", rows, window_ms=window_ms, max_batch=max_batch
+                )
+            )
+        assert got == expected
+        assert stats["requests"] == len(rows)
+        assert stats["max_batch_seen"] <= max_batch
+
+    @pytest.mark.parametrize("pipeline_fixture", PIPELINES)
+    @pytest.mark.parametrize("jitter_seed", [0, 1, 2])
+    def test_jittered_arrival_orders_are_invisible(
+        self, request, pipeline_fixture, jitter_seed
+    ):
+        """Randomised arrival jitter produces different batch splits —
+        and identical answers."""
+        pipeline = request.getfixturevalue(pipeline_fixture)
+        rows = _rows(pipeline, 32, seed=7)
+        expected = _oracle(pipeline, rows)
+        with ModelRegistry() as registry:
+            registry.register("m", pipeline)
+            got, _ = asyncio.run(
+                _coalesced(
+                    registry, "m", rows, window_ms=3.0, jitter_seed=jitter_seed
+                )
+            )
+        assert got == expected
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_worker_count_is_invisible(self, classification_pipeline, workers):
+        rows = _rows(classification_pipeline, 40, seed=5)
+        expected = _oracle(classification_pipeline, rows)
+        with ModelRegistry(workers=workers) as registry:
+            registry.register("m", classification_pipeline)
+            got, _ = asyncio.run(_coalesced(registry, "m", rows, window_ms=2.0))
+        assert got == expected
+
+    def test_random_ties_force_the_per_record_path(self, random_tie_pipeline):
+        """Prove the fixture draws real ties: batch encoding (shared RNG
+        stream) disagrees with per-record encoding, yet the coalescer
+        still reproduces the sequential transcript bit for bit."""
+        rows = _rows(random_tie_pipeline, 24, seed=3)
+        with InferenceEngine(random_tie_pipeline) as engine:
+            batch_bits = engine.encode(rows).data
+            row_bits = np.concatenate(
+                [engine.encode(row[None]).data for row in rows]
+            )
+            assert not np.array_equal(batch_bits, row_bits)
+            expected = [json_scalar(engine.predict_one(row)) for row in rows]
+            coalesced = [json_scalar(v) for v in engine.predict_coalesced(rows)]
+        assert coalesced == expected
+
+
+class TestAdaptiveScheduling:
+    def test_lone_request_is_not_taxed_by_the_window(self, regression_pipeline):
+        """A huge window must not delay an idle server's lone request."""
+        with ModelRegistry() as registry:
+            registry.register("m", regression_pipeline)
+
+            async def run():
+                async with MicroBatcher(registry, "m", window_ms=500.0) as batcher:
+                    loop = asyncio.get_running_loop()
+                    begin = loop.time()
+                    await batcher.submit([1.25])
+                    elapsed = loop.time() - begin
+                    return elapsed, dict(batcher.stats)
+
+            elapsed, stats = asyncio.run(run())
+        assert elapsed < 0.25  # nowhere near the 500 ms window
+        assert stats["batches"] == 1
+        assert stats["max_batch_seen"] == 1
+
+    def test_flood_coalesces_into_shared_batches(self, regression_pipeline):
+        rows = _rows(regression_pipeline, 32, seed=9)
+        with ModelRegistry() as registry:
+            registry.register("m", regression_pipeline)
+            got, stats = asyncio.run(
+                _coalesced(registry, "m", rows, window_ms=50.0, max_batch=8)
+            )
+        assert got == _oracle(regression_pipeline, rows)
+        assert stats["max_batch_seen"] > 1  # concurrency became batch size
+        assert stats["max_batch_seen"] <= 8  # ... capped at max_batch
+        assert stats["batches"] < len(rows)
+
+    def test_backpressure_rejects_over_admission(self, regression_pipeline):
+        rows = _rows(regression_pipeline, 12, seed=1)
+        expected = _oracle(regression_pipeline, rows)
+        with ModelRegistry() as registry:
+            registry.register("m", regression_pipeline)
+
+            async def run():
+                async with MicroBatcher(
+                    registry, "m", window_ms=20.0, max_queue=1
+                ) as batcher:
+                    results = await asyncio.gather(
+                        *(batcher.submit(r) for r in rows), return_exceptions=True
+                    )
+                    return results, dict(batcher.stats)
+
+            results, stats = asyncio.run(run())
+        rejected = [r for r in results if isinstance(r, BackpressureError)]
+        assert rejected, "admission control never fired"
+        assert stats["rejected"] == len(rejected)
+        for got, want in zip(results, expected):
+            if not isinstance(got, BaseException):
+                assert json_scalar(got) == want  # served answers still exact
+
+    def test_submit_requires_started_scheduler(self, regression_pipeline):
+        with ModelRegistry() as registry:
+            registry.register("m", regression_pipeline)
+
+            async def run():
+                batcher = MicroBatcher(registry, "m")
+                with pytest.raises(RuntimeError, match="start"):
+                    await batcher.submit([1.0])
+
+            asyncio.run(run())
+
+    def test_unknown_model_fails_at_construction(self, regression_pipeline):
+        with ModelRegistry() as registry:
+            registry.register("m", regression_pipeline)
+            with pytest.raises(Exception, match="unknown model"):
+                MicroBatcher(registry, "nope")
+
+
+class TestKnobResolution:
+    """The scheduling knobs resolve arg > env > calibration > built-in."""
+
+    def test_env_knobs_configure_the_batcher(
+        self, regression_pipeline, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SERVE_BATCH_WINDOW_MS", "7.5")
+        monkeypatch.setenv("REPRO_SERVE_BATCH_MAX", "5")
+        monkeypatch.setenv("REPRO_SERVE_MAX_QUEUE", "17")
+        with ModelRegistry() as registry:
+            registry.register("m", regression_pipeline)
+            batcher = MicroBatcher(registry, "m")
+        assert batcher.window_s == pytest.approx(0.0075)
+        assert batcher.max_batch == 5
+        assert batcher.max_queue == 17
+
+    def test_explicit_args_beat_the_environment(
+        self, regression_pipeline, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SERVE_BATCH_MAX", "5")
+        with ModelRegistry() as registry:
+            registry.register("m", regression_pipeline)
+            batcher = MicroBatcher(registry, "m", max_batch=3, window_ms=0.0)
+        assert batcher.max_batch == 3
+        assert batcher.window_s == 0.0
+
+
+@pytest.fixture
+def http_server(classification_pipeline, regression_pipeline):
+    registry = ModelRegistry()
+    registry.register("gesture", classification_pipeline)
+    registry.register("mars", regression_pipeline)
+    with ServerThread(registry, window_ms=1.0, own_registry=True) as server:
+        yield server
+
+
+class TestHTTPServer:
+    def test_healthz(self, http_server):
+        status, body = http_server.request("GET", "/healthz")
+        assert status == 200
+        assert body == {"ok": True, "models": ["gesture", "mars"]}
+
+    def test_model_listing(self, http_server):
+        status, body = http_server.request("GET", "/v1/models")
+        assert status == 200
+        models = body["models"]
+        assert models["gesture"]["kind"] == "classification"
+        assert models["mars"]["kind"] == "regression"
+        assert models["mars"]["num_features"] == 1
+        assert all(info["generation"] == 1 for info in models.values())
+
+    def test_predict_single_matches_oracle(
+        self, http_server, classification_pipeline
+    ):
+        rows = _rows(classification_pipeline, 6, seed=21)
+        expected = _oracle(classification_pipeline, rows)
+        for row, want in zip(rows, expected):
+            status, body = http_server.request(
+                "POST",
+                "/v1/models/gesture:predict",
+                {"features": [float(v) for v in row]},
+            )
+            assert status == 200
+            assert body == {"model": "gesture", "prediction": want}
+
+    def test_predict_records_batch_in_order(self, http_server, regression_pipeline):
+        rows = _rows(regression_pipeline, 16, seed=22)
+        expected = _oracle(regression_pipeline, rows)
+        status, body = http_server.request(
+            "POST",
+            "/v1/models/mars:predict",
+            {"records": [[float(v) for v in row] for row in rows]},
+        )
+        assert status == 200
+        assert body == {"model": "mars", "predictions": expected}
+
+    @pytest.mark.parametrize(
+        "method,path,payload,status,needle",
+        [
+            ("POST", "/v1/models/nope:predict", {"features": [1.0]}, 404, "unknown model"),
+            ("GET", "/v1/odd/route", None, 404, "unknown route"),
+            ("GET", "/v1/models/mars:predict", None, 405, "POST-only"),
+            ("POST", "/healthz", {}, 405, "GET-only"),
+            ("POST", "/v1/models/mars:predict", {}, 400, "'features' or 'records'"),
+            (
+                "POST",
+                "/v1/models/mars:predict",
+                {"features": [1.0], "records": [[1.0]]},
+                400,
+                "not both",
+            ),
+            ("POST", "/v1/models/mars:predict", {"features": [1.0, 2.0]}, 400, "feature"),
+            ("POST", "/v1/models/mars:predict", {"features": ["x"]}, 400, "finite"),
+            ("POST", "/v1/models/mars:predict", {"records": []}, 400, "non-empty"),
+            ("POST", "/v1/models/mars:swap", {}, 400, "'path'"),
+        ],
+    )
+    def test_error_mapping(self, http_server, method, path, payload, status, needle):
+        got_status, body = http_server.request(method, path, payload)
+        assert got_status == status
+        assert needle in body["error"]
+
+    def test_non_json_body_is_a_400(self, http_server):
+        conn = http.client.HTTPConnection(
+            http_server.host, http_server.port, timeout=10
+        )
+        try:
+            conn.request(
+                "POST",
+                "/v1/models/mars:predict",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "not JSON" in body["error"]
+
+    def test_keep_alive_serves_many_requests_per_connection(self, http_server):
+        conn = http.client.HTTPConnection(
+            http_server.host, http_server.port, timeout=10
+        )
+        try:
+            for _ in range(5):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()
+
+
+class TestHTTPBackpressure:
+    def test_records_beyond_max_queue_get_429(
+        self, classification_pipeline, regression_pipeline
+    ):
+        """A 64-row records request against max_queue=8 must be refused
+        with an explicit backpressure marker, and the server must keep
+        serving afterwards."""
+        registry = ModelRegistry()
+        registry.register("mars", regression_pipeline)
+        with ServerThread(
+            registry, window_ms=1.0, max_queue=8, own_registry=True
+        ) as server:
+            status, body = server.request(
+                "POST",
+                "/v1/models/mars:predict",
+                {"records": [[float(i)] for i in range(64)]},
+            )
+            assert status == 429
+            assert body["backpressure"] is True
+            assert "max_queue" in body["error"]
+            status, body = server.request(
+                "POST", "/v1/models/mars:predict", {"features": [1.25]}
+            )
+            assert status == 200  # admission recovered after the burst
+
+    def test_concurrent_clients_see_429_not_unbounded_queueing(
+        self, regression_pipeline
+    ):
+        registry = ModelRegistry()
+        registry.register("mars", regression_pipeline)
+        with ServerThread(
+            registry, window_ms=25.0, max_queue=1, own_registry=True
+        ) as server:
+
+            def one(i):
+                return server.request(
+                    "POST", "/v1/models/mars:predict", {"features": [float(i)]}
+                )
+
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                outcomes = list(pool.map(one, range(48)))
+        statuses = {status for status, _ in outcomes}
+        assert statuses <= {200, 429}
+        assert 200 in statuses  # some traffic was served...
+        assert 429 in statuses  # ... and the overload was refused, not buffered
+
+
+class TestConcurrentReplayHTTP:
+    def test_64_plus_in_flight_mixed_models_bit_identical(
+        self, classification_pipeline, regression_pipeline
+    ):
+        """The acceptance property, over a real socket: ≥64 concurrent
+        in-flight requests across two models, transcript exactly equal
+        to the sequential oracle."""
+        trace = generate_trace(
+            {
+                "gesture": (classification_pipeline.num_features, (0.0, 1.0)),
+                "mars": (1, (0.0, float(2 * np.pi))),
+            },
+            num_requests=96,
+            seed=29,
+            rate_hz=2000.0,
+        )
+        with InferenceEngine(classification_pipeline) as cls_engine, \
+                InferenceEngine(regression_pipeline) as reg_engine:
+            expected = oracle_transcript(
+                trace, {"gesture": cls_engine, "mars": reg_engine}
+            )
+        registry = ModelRegistry()
+        registry.register("gesture", classification_pipeline)
+        registry.register("mars", regression_pipeline)
+        with ServerThread(registry, window_ms=2.0, own_registry=True) as server:
+
+            async def run():
+                gauge = {"now": 0, "peak": 0}
+                async with HTTPReplayClient(
+                    server.host, server.port, connections=32
+                ) as client:
+
+                    async def submit(model, features):
+                        gauge["now"] += 1
+                        gauge["peak"] = max(gauge["peak"], gauge["now"])
+                        try:
+                            return await client.submit(model, features)
+                        finally:
+                            gauge["now"] -= 1
+
+                    report = await replay_async(trace, submit, speedup=1000.0)
+                return report, gauge["peak"]
+
+            report, peak = asyncio.run(run())
+            stats = server.server.stats()
+        assert report.errors == {}
+        assert peak >= 64, f"only {peak} requests were concurrently in flight"
+        assert report.responses == expected  # bit-identical, every request
+        assert sum(s["requests"] for s in stats.values()) == len(trace)
+        assert max(s["max_batch_seen"] for s in stats.values()) > 1
