@@ -17,6 +17,7 @@ __all__ = [
     "ModelFormatError",
     "CalibrationError",
     "BackpressureError",
+    "ClusterError",
 ]
 
 
@@ -97,4 +98,15 @@ class BackpressureError(ReproError, RuntimeError):
     against a full queue fails fast with this error instead of growing
     the queue without limit.  The HTTP front end maps it to a
     ``429 Too Many Requests`` response (see :mod:`repro.serve.server`).
+    """
+
+
+class ClusterError(ReproError, RuntimeError):
+    """Raised when a distributed ingest run cannot be completed.
+
+    Covers workers that exhaust their restart budget, workers that
+    disagree about the stream length, and protocol violations on the
+    coordinator's pipes (see :mod:`repro.cluster`).  A transient worker
+    crash is *not* an error — the coordinator restarts the worker from
+    its chunk cursor and the run continues.
     """

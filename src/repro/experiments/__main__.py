@@ -10,7 +10,8 @@ Usage::
     python -m repro.experiments figure8 [--dim D] [--workers N] [--fast]
     python -m repro.experiments train --out model.npz [--task T] [--basis B]
     python -m repro.experiments train --out model.npz --stream \\
-        [--stream-samples N] [--chunk-size C] [--checkpoint CKPT.npz]
+        [--stream-samples N] [--chunk-size C] [--checkpoint CKPT.npz] \\
+        [--cluster-workers N] [--resume]
     python -m repro.experiments serve --model model.npz [--input -]
     python -m repro.experiments serve --model model.npz --stream \\
         [--checkpoint CKPT.npz] [--checkpoint-every N]
@@ -220,6 +221,8 @@ def _run_train(args: argparse.Namespace) -> None:
             workers=args.workers,
             checkpoint=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
+            cluster_workers=args.cluster_workers,
+            resume=args.resume,
         )
     else:
         with WorkerPool(workers=args.workers) as pool:
@@ -671,6 +674,18 @@ def main(argv: list[str] | None = None) -> int:
     streaming.add_argument("--checkpoint-every", type=int, default=8,
                            help="checkpoint interval for --checkpoint "
                                 "(default: 8)")
+    streaming.add_argument("--cluster-workers", type=int, default=None,
+                           help="worker *processes* for distributed `train "
+                                "--stream` ingest (default: "
+                                "REPRO_CLUSTER_WORKERS env, then the "
+                                "calibration artifact's cluster.workers, then "
+                                "1 = in-process); the final model is "
+                                "bit-identical for any value")
+    streaming.add_argument("--resume", action="store_true",
+                           help="reload --checkpoint (with its resume cursor) "
+                                "and stream only the remaining chunks; the "
+                                "finished model equals an uninterrupted run "
+                                "byte for byte")
     http = parser.add_argument_group("HTTP serving (serve-http target)")
     http.add_argument("--host", default="127.0.0.1",
                       help="bind address for serve-http (default: 127.0.0.1)")
@@ -706,6 +721,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--chunk-size must be positive, got {args.chunk_size}")
     if args.checkpoint_every < 1:
         parser.error(f"--checkpoint-every must be positive, got {args.checkpoint_every}")
+    if args.cluster_workers is not None and args.cluster_workers < 1:
+        parser.error(
+            f"--cluster-workers must be positive, got {args.cluster_workers}"
+        )
+    if args.cluster_workers is not None and not args.stream:
+        parser.error("--cluster-workers requires --stream")
+    if args.resume and not (args.stream and args.checkpoint):
+        parser.error("--resume requires --stream and --checkpoint")
     if args.port < 0:
         parser.error(f"--port must be >= 0, got {args.port}")
     if args.batch_window_ms is not None and args.batch_window_ms < 0:

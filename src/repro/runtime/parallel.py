@@ -47,6 +47,7 @@ from ..hdc.coerce import EncodedBatch, batch_rows
 from ..hdc.memory import ItemMemory
 from ..hdc.packed import is_packed
 from ..learning.classifier import CentroidClassifier
+from ..learning.merge import absorb_delta
 from ..learning.metrics import accuracy
 from ..learning.regression import HDRegressor
 from ..streaming.chunks import iter_slices
@@ -95,15 +96,16 @@ def fit_classifier_sharded(
     if len(labels) != n:
         raise InvalidParameterError(f"got {n} samples but {len(labels)} labels")
     # A thin parallel wrapper over the canonical chunked reducer: the
-    # pool runs the pure reduce step (shard_counts), the absorb loop is
-    # exactly what partial_fit does with the same shards in order.
+    # pool runs the pure reduce step (shard_counts), the in-order merge
+    # goes through the one shared entry point (absorb_delta) — the same
+    # path partial_fit, OnlineLearner.absorb and the ingest cluster use.
     bounds = iter_slices(n, chunk_size)
     shards = pool.map(
         lambda b: classifier.shard_counts(encoded[b[0]:b[1]], labels[b[0]:b[1]]),
         bounds,
     )
     for shard in shards:
-        classifier.absorb_counts(shard)
+        absorb_delta(classifier, shard)
     return classifier
 
 
@@ -198,13 +200,14 @@ def fit_regressor_sharded(
     if y.shape != (n,):
         raise InvalidParameterError(f"y must have shape ({n},), got {y.shape}")
     # Thin parallel wrapper over the canonical reducer (see
-    # fit_classifier_sharded): pool-mapped shard_bundle, in-order absorb.
+    # fit_classifier_sharded): pool-mapped shard_bundle, in-order merge
+    # through the shared absorb_delta entry point.
     bounds = iter_slices(n, chunk_size)
     shards = pool.map(
         lambda b: model.shard_bundle(encoded[b[0]:b[1]], y[b[0]:b[1]]), bounds
     )
     for shard in shards:
-        model.absorb(shard)
+        absorb_delta(model, shard)
     return model
 
 

@@ -39,9 +39,11 @@ from .batching import MicroBatcher
 from .engine import InferenceEngine
 from .online import OnlineLearner
 from .persist import (
+    FORMAT_MINOR,
     FORMAT_NAME,
     FORMAT_VERSION,
     describe_model,
+    load_checkpoint,
     load_model,
     save_model,
 )
@@ -63,8 +65,10 @@ from .server import ServerThread, ServeServer, json_scalar
 __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "FORMAT_MINOR",
     "save_model",
     "load_model",
+    "load_checkpoint",
     "describe_model",
     "TrainedPipeline",
     "InferenceEngine",

@@ -152,23 +152,14 @@ class OnlineLearner:
         :meth:`~repro.learning.regression.HDRegressor.shard_bundle` (one
         accumulator).  Integer counts commute, so replicas can train on
         disjoint traffic and fold their statistics into one model in any
-        order.  Returns ``self``.
+        order.  Returns ``self``.  Dispatch lives in
+        :func:`repro.learning.merge.absorb_delta` — the same entry point
+        the sharded runtime helpers and the ingest cluster merge
+        through.
         """
-        model = self.pipeline.model
-        if isinstance(model, CentroidClassifier):
-            if not isinstance(shard, dict):
-                raise InvalidParameterError(
-                    "classification pipelines absorb {label: BundleAccumulator} "
-                    f"shards, got {type(shard).__name__}"
-                )
-            model.absorb_counts(shard)
-        else:
-            if not isinstance(shard, BundleAccumulator):
-                raise InvalidParameterError(
-                    "regression pipelines absorb a BundleAccumulator shard, "
-                    f"got {type(shard).__name__}"
-                )
-            model.absorb(shard)
+        from ..learning.merge import absorb_delta
+
+        absorb_delta(self.pipeline.model, shard)
         return self
 
     def learn_stream(

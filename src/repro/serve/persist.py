@@ -72,9 +72,11 @@ from .pipeline import TrainedPipeline
 __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "FORMAT_MINOR",
     "MANIFEST_KEY",
     "save_model",
     "load_model",
+    "load_checkpoint",
     "describe_model",
 ]
 
@@ -84,6 +86,13 @@ FORMAT_NAME = "repro-hdc-model"
 #: Current container version.  Loaders accept any file with the same
 #: major version; see docs/SERVING.md for the compatibility policy.
 FORMAT_VERSION = 1
+
+#: Minor revision within :data:`FORMAT_VERSION`, for additive manifest
+#: fields readers may ignore.  Minor 1 added the optional top-level
+#: ``cursor`` entry (streaming/cluster resume state — see
+#: ``docs/DISTRIBUTED.md``); version-1 loaders that predate it read
+#: only ``type``/``payload`` and are unaffected.
+FORMAT_MINOR = 1
 
 #: npz entry holding the UTF-8 JSON manifest.
 MANIFEST_KEY = "__manifest__"
@@ -542,7 +551,9 @@ def _load_object(node: dict[str, Any], arrays: dict, prefix: str) -> Any:
     return loader(node["payload"], arrays, prefix)
 
 
-def save_model(model: Any, path: str | os.PathLike) -> Path:
+def save_model(
+    model: Any, path: str | os.PathLike, *, cursor: dict[str, Any] | None = None
+) -> Path:
     """Persist a supported model object to ``path`` (npz container).
 
     The write is atomic: the container is assembled in a temporary
@@ -551,6 +562,14 @@ def save_model(model: Any, path: str | os.PathLike) -> Path:
     Classifiers and binary-model regressors are materialised
     (:meth:`prepare`) as part of saving, so the frozen prototypes land
     in the file and the reloaded model predicts bit-identically.
+
+    ``cursor`` (optional) is a JSON-serialisable dict recorded verbatim
+    as the manifest's top-level ``cursor`` entry — the streaming/cluster
+    subsystems store their chunk replay position there so an interrupted
+    ``train --stream`` resumes from the checkpoint
+    (:func:`load_checkpoint`; format in ``docs/DISTRIBUTED.md``).
+    :func:`load_model` ignores it, so a cursor-bearing checkpoint is a
+    perfectly ordinary model file.
 
     Returns the path written.
 
@@ -571,9 +590,17 @@ def save_model(model: Any, path: str | os.PathLike) -> Path:
     manifest = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
+        "minor": FORMAT_MINOR,
         "type": node["type"],
         "payload": node["payload"],
     }
+    if cursor is not None:
+        try:
+            manifest["cursor"] = json.loads(json.dumps(cursor))
+        except (TypeError, ValueError) as exc:
+            raise ModelFormatError(
+                f"checkpoint cursor is not JSON-serialisable: {exc}"
+            ) from exc
     blob = json.dumps(manifest, sort_keys=True).encode("utf-8")
     arrays[MANIFEST_KEY] = np.frombuffer(blob, dtype=np.uint8)
 
@@ -664,6 +691,53 @@ def load_model(path: str | os.PathLike) -> Any:
         # payload fields, wrong value types) is a malformed file, not a
         # caller bug — keep the documented error contract.
         raise ModelFormatError(f"{path} has a malformed manifest: {exc!r}") from exc
+
+
+def load_checkpoint(path: str | os.PathLike) -> tuple[Any, dict[str, Any] | None]:
+    """Load a model *and* its resume cursor from a checkpoint file.
+
+    Returns ``(model, cursor)`` where ``cursor`` is the manifest's
+    ``cursor`` entry (``None`` for plain model files saved without one).
+    The model object is exactly what :func:`load_model` would return;
+    the cursor is what ``train --stream --resume`` and the ingest
+    cluster's failover path feed back into
+    :func:`repro.streaming.train.train_pipeline_stream` to replay only
+    the chunks the checkpoint has not absorbed yet.
+
+    Raises :class:`~repro.exceptions.ModelFormatError` (naming the file)
+    for unreadable or corrupt containers — callers recovering a crashed
+    run should treat that as "fall back to the previous intact
+    checkpoint", which the atomic tmp + ``os.replace`` write protocol
+    guarantees is the file actually sitting at ``path``.
+
+    Example
+    -------
+    >>> import tempfile, os
+    >>> from repro.hdc import BundleAccumulator
+    >>> path = os.path.join(tempfile.mkdtemp(), "ckpt.npz")
+    >>> _ = save_model(BundleAccumulator(8), path, cursor={"chunks": 3})
+    >>> model, cursor = load_checkpoint(path)
+    >>> (model.dim, cursor["chunks"])
+    (8, 3)
+    """
+    manifest, arrays = _read_container(path)
+    try:
+        model = _load_object(
+            {"type": manifest.get("type"), "payload": manifest.get("payload")},
+            arrays,
+            "",
+        )
+    except ModelFormatError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise ModelFormatError(f"{path} has a malformed manifest: {exc!r}") from exc
+    cursor = manifest.get("cursor")
+    if cursor is not None and not isinstance(cursor, dict):
+        raise ModelFormatError(
+            f"{path} has a malformed cursor entry: expected an object, "
+            f"got {type(cursor).__name__}"
+        )
+    return model, cursor
 
 
 def describe_model(path: str | os.PathLike) -> dict[str, Any]:

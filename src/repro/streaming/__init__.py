@@ -36,6 +36,7 @@ from .chunks import (
     default_chunk_rows,
     iter_slices,
     rechunk,
+    skip_chunks,
     split_chunks,
 )
 from .sources import JigsawsStream, MarsExpressStream
@@ -48,6 +49,9 @@ from .reduce import (
     stream_encode,
 )
 from .train import (
+    CURSOR_VERSION,
+    RecordEncode,
+    ValueEncode,
     checkpointer,
     stream_fit_classifier,
     stream_fit_regressor,
@@ -64,6 +68,7 @@ __all__ = [
     "default_chunk_rows",
     "iter_slices",
     "rechunk",
+    "skip_chunks",
     "split_chunks",
     "JigsawsStream",
     "MarsExpressStream",
@@ -73,6 +78,9 @@ __all__ = [
     "prefetch_chunks",
     "resolve_majority",
     "stream_encode",
+    "CURSOR_VERSION",
+    "RecordEncode",
+    "ValueEncode",
     "checkpointer",
     "stream_fit_classifier",
     "stream_fit_regressor",

@@ -37,6 +37,7 @@ __all__ = [
     "default_chunk_rows",
     "iter_slices",
     "rechunk",
+    "skip_chunks",
     "split_chunks",
 ]
 
@@ -349,6 +350,54 @@ class _Rechunked:
                 yield emit
         if buffered:
             yield drain(pending, buffered)
+
+
+class _SkipChunks:
+    """Drop the first ``n`` chunks of another source, offsets intact."""
+
+    def __init__(self, source: ChunkSource, skip: int) -> None:
+        if not isinstance(skip, (int, np.integer)) or isinstance(skip, bool) or skip < 0:
+            raise InvalidParameterError(
+                f"skip must be a non-negative integer, got {skip!r}"
+            )
+        self.source = source
+        self.skip = int(skip)
+
+    def __getattr__(self, name: str):
+        # num_rows / num_features / meta pass through from the source.
+        return getattr(self.source, name)
+
+    def __iter__(self) -> Iterator[Chunk]:
+        for index, chunk in enumerate(self.source):
+            if index >= self.skip:
+                yield chunk
+
+
+def skip_chunks(source: ChunkSource, skip: int) -> _SkipChunks:
+    """A view of ``source`` without its first ``skip`` chunks.
+
+    The replay primitive behind ``train --stream --resume`` and the
+    ingest cluster's failover: a checkpoint cursor records how many
+    chunks the saved model already absorbed, and the remaining pass is
+    exactly the same stream minus that prefix.  The surviving chunks
+    keep their absolute ``start`` offsets (they are yielded untouched),
+    so position-keyed encoding stays bit-identical to the uninterrupted
+    run.
+
+    Deterministic sources are *iterated* from the beginning and the
+    skipped prefix discarded — generation cost is paid, encode/reduce
+    cost is not (the sources have no random chunk access; see
+    ``docs/DISTRIBUTED.md``).
+
+    >>> import numpy as np
+    >>> src = array_chunks(np.arange(10.0).reshape(5, 2), chunk_size=2)
+    >>> [(c.start, c.rows) for c in skip_chunks(src, 2)]
+    [(4, 1)]
+    >>> [(c.start, c.rows) for c in skip_chunks(src, 0)] == [
+    ...     (c.start, c.rows) for c in src]
+    True
+    """
+    return _SkipChunks(source, skip)
 
 
 def rechunk(source: ChunkSource, chunk_size: int) -> _Rechunked:

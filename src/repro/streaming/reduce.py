@@ -282,6 +282,7 @@ def encode_reduce(
     encode: Callable[[object], object],
     on_chunk: Callable[[StreamStats], None] | None = None,
     prefetch: int = 1,
+    stats: StreamStats | None = None,
 ) -> StreamStats:
     """Stream chunks through ``encode`` straight into ``model``.
 
@@ -300,6 +301,11 @@ def encode_reduce(
     grows by at most ``prefetch`` raw chunks and the result stays
     bit-identical (chunks arrive in source order).  ``prefetch=0``
     iterates the source inline.
+
+    ``stats`` (optional) is a pre-seeded :class:`StreamStats` to keep
+    accounting — a resumed pass (``train --stream --resume``) continues
+    from the checkpoint cursor's counts, so checkpoint cadence
+    (``stats.chunks % every``) stays aligned with the uninterrupted run.
 
     ``model`` is anything with ``partial_fit`` — a
     :class:`~repro.learning.classifier.CentroidClassifier` or
@@ -322,7 +328,7 @@ def encode_reduce(
     """
     from ..learning.classifier import CentroidClassifier
 
-    stats = StreamStats()
+    stats = stats if stats is not None else StreamStats()
     classify = isinstance(model, CentroidClassifier)
     chunks = prefetch_chunks(source, depth=prefetch) if prefetch else source
     for chunk in chunks:

@@ -9,12 +9,25 @@ discipline, same serve-time ``"zeros"`` tie policy) but trains from a
 :class:`~repro.streaming.ChunkSource`, so the training set never has to
 fit in RAM, and can drop an atomic checkpoint every few chunks while it
 runs.
+
+Checkpoints written here carry a **resume cursor** (see
+:func:`repro.serve.persist.save_model`): the chunk frontier, per-worker
+replay positions, and the model's tie-break RNG state.  ``train
+--stream --resume`` reloads the checkpoint, restores the RNG, skips the
+already-absorbed chunks (:func:`~repro.streaming.chunks.skip_chunks`)
+and streams the rest — landing on the same final bytes as an
+uninterrupted run.  With ``cluster_workers > 1`` the encode+reduce pass
+is sharded across worker processes by
+:class:`~repro.cluster.ClusterCoordinator` (same bytes again, for any
+worker count or crash schedule).
 """
 
 from __future__ import annotations
 
+import copy
 import math
 import os
+from dataclasses import dataclass, field
 from typing import Callable, Union
 
 import numpy as np
@@ -23,18 +36,21 @@ from .._rng import ensure_rng
 from ..basis.base import Embedding
 from ..basis.level import LevelBasis
 from ..basis.quantize import LinearDiscretizer
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, ModelFormatError
 from ..hdc.hypervector import random_hypervectors
 from ..learning.classifier import CentroidClassifier
 from ..learning.metrics import mean_squared_error
 from ..learning.regression import HDRegressor
 from ..runtime.batch import BatchEncoder
 from ..runtime.pool import WorkerPool
-from .chunks import Chunk, ChunkSource, default_chunk_rows
+from .chunks import Chunk, ChunkSource, default_chunk_rows, skip_chunks
 from .reduce import StreamStats, encode_reduce, stream_encode
 from .sources import JigsawsStream, MarsExpressStream
 
 __all__ = [
+    "CURSOR_VERSION",
+    "RecordEncode",
+    "ValueEncode",
     "checkpointer",
     "stream_fit_classifier",
     "stream_fit_regressor",
@@ -44,6 +60,11 @@ __all__ = [
 ]
 
 TWO_PI = 2.0 * math.pi
+
+#: Schema revision of the checkpoint resume cursor written by
+#: :func:`train_pipeline_stream` (stored under the manifest's
+#: ``cursor`` key — see :func:`repro.serve.persist.save_model`).
+CURSOR_VERSION = 1
 
 
 class _CountingSource:
@@ -59,20 +80,58 @@ class _CountingSource:
             yield chunk
 
 
-def _record_encode(
-    encoder: BatchEncoder,
-    seed: Union[int, None],
-    pool: WorkerPool | None,
-) -> Callable[[Chunk], object]:
-    return lambda chunk: stream_encode(
-        encoder, chunk.features, start=chunk.start, seed=seed, packed=True, pool=pool
-    )
+@dataclass
+class RecordEncode:
+    """Picklable per-chunk encode for record streams (classification).
+
+    Wraps :func:`~repro.streaming.reduce.stream_encode` with the chunk's
+    absolute ``start`` as the tie-coin position key, so the encode of any
+    row is independent of chunking, process, and worker count.  Being a
+    plain dataclass (not a closure) it pickles into cluster worker
+    processes; the thread ``pool`` is a per-process resource and is
+    deliberately dropped on pickle — workers encode serially, which is
+    bit-identical.
+    """
+
+    encoder: BatchEncoder
+    seed: Union[int, None] = 0
+    pool: WorkerPool | None = field(default=None, compare=False)
+
+    def __call__(self, chunk: Chunk):
+        return stream_encode(
+            self.encoder,
+            chunk.features,
+            start=chunk.start,
+            seed=self.seed,
+            packed=True,
+            pool=self.pool,
+        )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["pool"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
-def _value_encode(embedding: Embedding, column: int = 0) -> Callable[[Chunk], object]:
-    return lambda chunk: embedding.encode_packed(
-        np.asarray(chunk.features, dtype=np.float64)[:, column]
-    )
+@dataclass
+class ValueEncode:
+    """Picklable per-chunk encode for value streams (regression).
+
+    Embeds one feature ``column`` of each chunk through the value basis
+    — a pure embedding gather with no tie randomness, so it is trivially
+    chunking- and process-independent.
+    """
+
+    embedding: Embedding
+    column: int = 0
+
+    def __call__(self, chunk: Chunk):
+        return self.embedding.encode_packed(
+            np.asarray(chunk.features, dtype=np.float64)[:, self.column]
+        )
 
 
 def stream_fit_classifier(
@@ -82,6 +141,7 @@ def stream_fit_classifier(
     seed: Union[int, None] = 0,
     pool: WorkerPool | None = None,
     on_chunk: Callable[[StreamStats], None] | None = None,
+    stats: StreamStats | None = None,
 ) -> StreamStats:
     """Train a centroid classifier from a chunk stream, O(chunk) memory.
 
@@ -89,7 +149,8 @@ def stream_fit_classifier(
     (position-keyed ties under ``seed``) and reduced straight into the
     classifier's accumulators — **bit-identical to a monolithic**
     ``classifier.fit(stream_encode(encoder, all_features), labels)``
-    for every chunk size and worker count.
+    for every chunk size and worker count.  ``stats`` pre-seeds the
+    accounting for resumed passes.
 
     >>> import numpy as np
     >>> from repro.basis import CircularBasis
@@ -104,7 +165,11 @@ def stream_fit_classifier(
     True
     """
     return encode_reduce(
-        classifier, source, _record_encode(encoder, seed, pool), on_chunk=on_chunk
+        classifier,
+        source,
+        RecordEncode(encoder, seed, pool),
+        on_chunk=on_chunk,
+        stats=stats,
     )
 
 
@@ -114,6 +179,7 @@ def stream_fit_regressor(
     source: ChunkSource,
     column: int = 0,
     on_chunk: Callable[[StreamStats], None] | None = None,
+    stats: StreamStats | None = None,
 ) -> StreamStats:
     """Train an HD regressor from a chunk stream, O(chunk) memory.
 
@@ -132,7 +198,7 @@ def stream_fit_regressor(
     12
     """
     return encode_reduce(
-        model, source, _value_encode(embedding, column), on_chunk=on_chunk
+        model, source, ValueEncode(embedding, column), on_chunk=on_chunk, stats=stats
     )
 
 
@@ -155,7 +221,7 @@ def stream_score_classifier(
     """
     correct = 0
     total = 0
-    encode = _record_encode(encoder, seed, pool)
+    encode = RecordEncode(encoder, seed, pool)
     for chunk in source:
         if chunk.targets is None:
             raise InvalidParameterError("scoring needs labelled chunks")
@@ -184,7 +250,7 @@ def stream_score_regressor(
     """
     sq_sum = 0.0
     total = 0
-    encode = _value_encode(embedding, column)
+    encode = ValueEncode(embedding, column)
     for chunk in source:
         if chunk.targets is None:
             raise InvalidParameterError("scoring needs labelled chunks")
@@ -201,6 +267,7 @@ def checkpointer(
     pipeline,
     path: Union[str, os.PathLike],
     every: int = 1,
+    cursor: Callable[[StreamStats], Union[dict, None]] | None = None,
 ) -> Callable[[StreamStats], None]:
     """An ``on_chunk`` hook that atomically checkpoints the pipeline.
 
@@ -210,6 +277,18 @@ def checkpointer(
     protocol, so a crash mid-stream always leaves the last complete
     checkpoint on disk — resume by loading it and streaming the
     remaining chunks.
+
+    The snapshot is a **deep copy** of the live pipeline: serialising a
+    model consumes its tie-break RNG (``prepare()`` draws the tie
+    coins), so saving the live object would make the final model depend
+    on the checkpoint cadence.  Copy-then-save keeps the stream result
+    bit-identical whether checkpoints are written never, every chunk,
+    or anywhere in between.
+
+    ``cursor`` (optional) is called with the running
+    :class:`StreamStats` at each checkpoint and its return value is
+    persisted in the manifest's ``cursor`` entry — the replay state
+    ``--resume`` and the cluster coordinator restart from.
     """
     if every < 1:
         raise InvalidParameterError(f"checkpoint interval must be positive, got {every}")
@@ -218,9 +297,101 @@ def checkpointer(
         if stats.chunks % every == 0:
             from ..serve.persist import save_model
 
-            save_model(pipeline, path)
+            snapshot = copy.deepcopy(pipeline)
+            save_model(
+                snapshot, path, cursor=cursor(stats) if cursor is not None else None
+            )
 
     return hook
+
+
+def _compose_hooks(*hooks):
+    chain = [hook for hook in hooks if hook is not None]
+    if not chain:
+        return None
+    if len(chain) == 1:
+        return chain[0]
+
+    def composed(stats: StreamStats) -> None:
+        for hook in chain:
+            hook(stats)
+
+    return composed
+
+
+def _model_rng(model) -> np.random.Generator:
+    return model._rng
+
+
+def _build_cursor(
+    kind: str,
+    stats: StreamStats,
+    chunk_size: int,
+    workers: int,
+    per_worker: dict,
+    model,
+    config_echo: dict,
+) -> dict:
+    from ..serve.persist import _rng_state
+
+    return {
+        "version": CURSOR_VERSION,
+        "kind": kind,
+        "chunks": stats.chunks,
+        "rows": stats.rows,
+        "chunk_size": chunk_size,
+        "workers": workers,
+        "per_worker": {str(k): int(v) for k, v in per_worker.items()},
+        "rng_state": _rng_state(_model_rng(model)),
+        "config": config_echo,
+    }
+
+
+def _load_resume_state(checkpoint, config_echo: dict, chunk_size: int):
+    """Validate a resume checkpoint; return (pipeline, cursor)."""
+    from ..serve.persist import load_checkpoint
+    from ..serve.pipeline import TrainedPipeline
+
+    pipeline, cursor = load_checkpoint(checkpoint)
+    if not isinstance(pipeline, TrainedPipeline):
+        raise InvalidParameterError(
+            f"--resume needs a pipeline checkpoint, {checkpoint} holds "
+            f"{type(pipeline).__name__}"
+        )
+    if cursor is None:
+        raise ModelFormatError(
+            f"{checkpoint} has no resume cursor; it was not written by a "
+            "cursor-bearing streaming run"
+        )
+    version = cursor.get("version")
+    if version != CURSOR_VERSION:
+        raise ModelFormatError(
+            f"{checkpoint} carries cursor version {version!r}; this build "
+            f"reads version {CURSOR_VERSION}"
+        )
+    for key in ("chunks", "rows", "chunk_size", "per_worker", "rng_state"):
+        if key not in cursor:
+            raise ModelFormatError(
+                f"{checkpoint} has a malformed cursor: missing {key!r}"
+            )
+    stored = cursor.get("config", {})
+    if stored != config_echo:
+        raise InvalidParameterError(
+            f"resume configuration mismatch: checkpoint was trained with "
+            f"{stored}, this run asks for {config_echo}"
+        )
+    if int(cursor["chunk_size"]) != int(chunk_size):
+        raise InvalidParameterError(
+            f"resume chunk_size mismatch: checkpoint streamed "
+            f"{cursor['chunk_size']}-row chunks, this run asks for {chunk_size}"
+        )
+    return pipeline, cursor
+
+
+def _restore_model_rng(model, cursor: dict) -> None:
+    from ..serve.persist import _restore_rng
+
+    model._rng = _restore_rng(cursor["rng_state"])
 
 
 def train_pipeline_stream(
@@ -232,6 +403,10 @@ def train_pipeline_stream(
     workers: int = 1,
     checkpoint: Union[str, os.PathLike, None] = None,
     checkpoint_every: int = 8,
+    cluster_workers: Union[int, None] = None,
+    resume: bool = False,
+    on_chunk: Callable[[StreamStats], None] | None = None,
+    cluster_hook: Callable | None = None,
 ):
     """Train a servable pipeline from a synthetic stream (``train --stream``).
 
@@ -244,7 +419,8 @@ def train_pipeline_stream(
     :class:`~repro.streaming.MarsExpressStream` consumed chunk by
     chunk, so ``stream_samples`` can exceed RAM.  With ``checkpoint``
     set, an atomic snapshot of the partially trained pipeline lands
-    every ``checkpoint_every`` chunks.
+    every ``checkpoint_every`` chunks, with a resume cursor in its
+    manifest.
 
     Parameters
     ----------
@@ -264,12 +440,29 @@ def train_pipeline_stream(
     workers:
         Worker threads for the per-chunk encode count phase
         (bit-identical for any value).
+    cluster_workers:
+        Worker *processes* for distributed ingest.  ``None`` or ``1``
+        trains in-process; ``> 1`` shards the stream across a
+        :class:`~repro.cluster.ClusterCoordinator` fleet — the final
+        model is bit-identical for any value (``REPRO_CLUSTER_WORKERS``
+        / the ``cluster.workers`` knob set the default).
+    resume:
+        Reload ``checkpoint`` (which must exist and carry a cursor) and
+        stream only the chunks past its frontier; the finished model is
+        byte-identical to an uninterrupted run.
+    on_chunk:
+        Extra hook run after every absorbed chunk (after the checkpoint
+        hook, in global chunk order) — the crash-simulation seam.
+    cluster_hook:
+        Picklable fault-injection hook installed into cluster workers
+        (see :class:`~repro.cluster.CrashPlan`); test-only.
 
     Returns
     -------
     (TrainedPipeline, StreamStats)
         The trained servable pipeline (metadata records the streaming
-        provenance) and what the pass consumed.
+        provenance) and what the run consumed — a resumed run's stats
+        include the replayed checkpoint's chunks.
 
     Example
     -------
@@ -289,12 +482,19 @@ def train_pipeline_stream(
     from ..experiments.config import ClassificationConfig, RegressionConfig
     from ..experiments.regression import _feature_embedding
     from ..serve.pipeline import TrainedPipeline
+    from ..serve.persist import save_model
 
     chunk_size = default_chunk_rows(chunk_size)
     if basis_kind not in BASIS_KINDS:
         raise InvalidParameterError(
             f"basis_kind must be one of {BASIS_KINDS}, got {basis_kind!r}"
         )
+    if resume and checkpoint is None:
+        raise InvalidParameterError("resume needs a checkpoint path to reload")
+    from ..cluster import ClusterCoordinator, default_cluster_workers
+
+    cluster_workers = default_cluster_workers(cluster_workers)
+    config_echo = None  # filled per task below
     if task == "mars_express":
         config = config or RegressionConfig()
         if not isinstance(config, RegressionConfig):
@@ -329,14 +529,62 @@ def train_pipeline_stream(
             metadata={"task": task, "basis_kind": basis_kind, "dim": config.dim,
                       "seed": config.seed},
         )
-        hook = (
-            checkpointer(pipeline, checkpoint, checkpoint_every)
-            if checkpoint is not None
-            else None
-        )
-        stats = stream_fit_regressor(
-            model, anomaly_embedding, train_stream, on_chunk=hook
-        )
+        config_echo = {"task": task, "basis_kind": basis_kind, "dim": config.dim,
+                       "seed": config.seed, "stream_samples": stream_samples}
+        stats = StreamStats()
+        train_source: ChunkSource = train_stream
+        per_worker_resume = None
+        if resume:
+            pipeline, cursor = _load_resume_state(checkpoint, config_echo, chunk_size)
+            model = pipeline.model
+            _restore_model_rng(model, cursor)
+            stats = StreamStats(chunks=int(cursor["chunks"]), rows=int(cursor["rows"]))
+            train_source = skip_chunks(train_stream, stats.chunks)
+            per_worker_resume = cursor["per_worker"]
+        if cluster_workers > 1:
+            coordinator = ClusterCoordinator(
+                model,
+                train_stream,
+                ValueEncode(anomaly_embedding),
+                workers=cluster_workers,
+                hook=cluster_hook,
+            )
+
+            def cursor_fn(current: StreamStats) -> dict:
+                return _build_cursor(
+                    "cluster", current, chunk_size, coordinator.workers,
+                    coordinator.per_worker_cursor(), model, config_echo,
+                )
+
+            hook = _compose_hooks(
+                checkpointer(pipeline, checkpoint, checkpoint_every, cursor=cursor_fn)
+                if checkpoint is not None
+                else None,
+                on_chunk,
+            )
+            stats = coordinator.run(
+                on_chunk=hook,
+                start=stats.chunks,
+                per_worker=per_worker_resume,
+                stats=stats,
+            )
+        else:
+
+            def cursor_fn(current: StreamStats) -> dict:
+                return _build_cursor(
+                    "stream", current, chunk_size, 1,
+                    {"0": current.chunks}, model, config_echo,
+                )
+
+            hook = _compose_hooks(
+                checkpointer(pipeline, checkpoint, checkpoint_every, cursor=cursor_fn)
+                if checkpoint is not None
+                else None,
+                on_chunk,
+            )
+            stats = stream_fit_regressor(
+                model, anomaly_embedding, train_source, on_chunk=hook, stats=stats
+            )
         # Count the held-out rows on the scoring pass itself — a second
         # pass over the stream would regenerate all the telemetry.
         counted = _CountingSource(test_stream)
@@ -383,15 +631,68 @@ def train_pipeline_stream(
             metadata={"task": task, "basis_kind": basis_kind, "dim": config.dim,
                       "seed": config.seed},
         )
-        hook = (
-            checkpointer(pipeline, checkpoint, checkpoint_every)
-            if checkpoint is not None
-            else None
-        )
+        config_echo = {"task": task, "basis_kind": basis_kind, "dim": config.dim,
+                       "seed": config.seed, "stream_samples": stream_samples}
+        stats = StreamStats()
+        train_source = train_stream
+        per_worker_resume = None
+        if resume:
+            pipeline, cursor = _load_resume_state(checkpoint, config_echo, chunk_size)
+            classifier = pipeline.model
+            _restore_model_rng(classifier, cursor)
+            stats = StreamStats(chunks=int(cursor["chunks"]), rows=int(cursor["rows"]))
+            train_source = skip_chunks(train_stream, stats.chunks)
+            per_worker_resume = cursor["per_worker"]
         with WorkerPool(workers=workers) as pool:
-            stats = stream_fit_classifier(
-                classifier, encoder, train_stream, pool=pool, on_chunk=hook
-            )
+            if cluster_workers > 1:
+                coordinator = ClusterCoordinator(
+                    classifier,
+                    train_stream,
+                    RecordEncode(encoder, seed=0),
+                    workers=cluster_workers,
+                    hook=cluster_hook,
+                )
+
+                def cursor_fn(current: StreamStats) -> dict:
+                    return _build_cursor(
+                        "cluster", current, chunk_size, coordinator.workers,
+                        coordinator.per_worker_cursor(), classifier, config_echo,
+                    )
+
+                hook = _compose_hooks(
+                    checkpointer(
+                        pipeline, checkpoint, checkpoint_every, cursor=cursor_fn
+                    )
+                    if checkpoint is not None
+                    else None,
+                    on_chunk,
+                )
+                stats = coordinator.run(
+                    on_chunk=hook,
+                    start=stats.chunks,
+                    per_worker=per_worker_resume,
+                    stats=stats,
+                )
+            else:
+
+                def cursor_fn(current: StreamStats) -> dict:
+                    return _build_cursor(
+                        "stream", current, chunk_size, 1,
+                        {"0": current.chunks}, classifier, config_echo,
+                    )
+
+                hook = _compose_hooks(
+                    checkpointer(
+                        pipeline, checkpoint, checkpoint_every, cursor=cursor_fn
+                    )
+                    if checkpoint is not None
+                    else None,
+                    on_chunk,
+                )
+                stats = stream_fit_classifier(
+                    classifier, encoder, train_source, pool=pool,
+                    on_chunk=hook, stats=stats,
+                )
             acc = stream_score_classifier(classifier, encoder, test_stream, pool=pool)
         pipeline.metadata.update(
             num_train=stats.rows,
@@ -401,7 +702,5 @@ def train_pipeline_stream(
                     "entropy": train_stream.entropy},
         )
     if checkpoint is not None:
-        from ..serve.persist import save_model
-
-        save_model(pipeline, checkpoint)
+        save_model(pipeline, checkpoint, cursor=cursor_fn(stats))
     return pipeline, stats

@@ -88,6 +88,9 @@ KNOB_SCHEMA: dict[str, dict[str, Callable[[Any], bool]]] = {
     "streaming": {
         "chunk_rows": _positive_int,
     },
+    "cluster": {
+        "workers": _positive_int,
+    },
     "runtime": {
         "workers": _positive_int,
     },

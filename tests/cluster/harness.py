@@ -1,0 +1,124 @@
+"""Shared fixtures for the cluster fault-injection suite.
+
+Everything here is deliberately tiny (d=128, tens of rows) so a full
+crash/restart scenario — real ``fork``, real ``SIGKILL``, real pipes —
+runs in well under a second, and the whole suite stays CI-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.basis import CircularBasis
+from repro.cluster import (
+    PHASE_CHUNK_SENT,
+    PHASE_CHUNK_START,
+    ClusterCoordinator,
+    CrashPlan,
+)
+from repro.hdc.hypervector import random_hypervectors
+from repro.learning import CentroidClassifier
+from repro.runtime import BatchEncoder
+from repro.streaming import JigsawsStream, RecordEncode, stream_fit_classifier
+
+DIM = 128
+NUM_FEATURES = 18
+
+
+def make_stream(seed: int = 3, chunk_size: int = 10, samples_per_gesture: int = 6):
+    """A small deterministic labelled stream (90 rows / 9 chunks at defaults)."""
+    return JigsawsStream(
+        "suturing",
+        seed=seed,
+        chunk_size=chunk_size,
+        samples_per_gesture=samples_per_gesture,
+    )
+
+
+def make_encoder(seed: int = 2) -> BatchEncoder:
+    embedding = CircularBasis(10, DIM, seed=1).circular_embedding(period=2 * np.pi)
+    keys = random_hypervectors(NUM_FEATURES, DIM, seed=seed)
+    return BatchEncoder(keys, embedding, tie_break="zeros")
+
+
+def train_serial(stream, encoder) -> CentroidClassifier:
+    clf = CentroidClassifier(DIM, tie_break="zeros", seed=0)
+    stream_fit_classifier(clf, encoder, stream)
+    return clf
+
+
+def train_cluster(stream, encoder, workers: int, hook=None, **kwargs):
+    clf = CentroidClassifier(DIM, tie_break="zeros", seed=0)
+    coordinator = ClusterCoordinator(
+        clf, stream, RecordEncode(encoder), workers=workers, hook=hook, **kwargs
+    )
+    stats = coordinator.run()
+    return clf, stats
+
+
+def assert_models_equal(a: CentroidClassifier, b: CentroidClassifier) -> None:
+    """Bitwise equality, including the tie-deciding class insertion order."""
+    assert a.classes == b.classes
+    for label in a.classes:
+        assert np.array_equal(a.class_vector(label), b.class_vector(label)), label
+
+
+def model_fingerprint(path) -> dict:
+    """Byte-level identity of a saved model: per-array bytes + manifest.
+
+    Whole-file comparison of two npz containers is invalid (zip entries
+    embed timestamps), so identity is asserted per stored array plus the
+    JSON manifest with the ``cursor`` entry removed (two runs that end at
+    the same state may have checkpointed through different histories).
+    The manifest covers the model payload *including the serialised RNG
+    state*, so equal fingerprints mean bitwise-equal arrays and RNG.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name].tobytes() for name in archive.files}
+    manifest = json.loads(bytes(arrays.pop("__manifest__")).decode("utf-8"))
+    manifest.pop("cursor", None)
+    return {"arrays": arrays, "manifest": manifest}
+
+
+def seeded_crash_schedule(
+    seed: int,
+    workers: int,
+    total_chunks: int,
+    kills: int = 2,
+) -> CrashPlan:
+    """A reproducible multi-kill schedule over first-incarnation workers.
+
+    Draws ``kills`` distinct victims (worker, assigned chunk, phase) from
+    ``seed`` — at most one kill per worker so every scheduled coordinate
+    is actually reached by incarnation 0 (a worker can only die once per
+    incarnation; its replacement runs incarnation 1 and survives).
+    """
+    rng = np.random.default_rng(seed)
+    victims = rng.choice(workers, size=min(kills, workers), replace=False)
+    entries = []
+    for worker_id in victims:
+        worker_id = int(worker_id)
+        assigned = [i for i in range(total_chunks) if i % workers == worker_id]
+        if not assigned:
+            continue
+        chunk = int(assigned[int(rng.integers(0, len(assigned)))])
+        phase = (PHASE_CHUNK_START, PHASE_CHUNK_SENT)[int(rng.integers(0, 2))]
+        entries.append((worker_id, 0, chunk, phase))
+    return CrashPlan.at(*entries)
+
+
+class CrashingWorker:
+    """A picklable worker hook that dies on schedule and records nothing.
+
+    Thin convenience over :class:`~repro.cluster.CrashPlan` with a
+    seeded constructor — the harness's standard way to say "this run
+    loses ``kills`` workers somewhere reproducible".
+    """
+
+    def __init__(self, seed: int, workers: int, total_chunks: int, kills: int = 2):
+        self.plan = seeded_crash_schedule(seed, workers, total_chunks, kills)
+
+    def __call__(self, phase, worker_id, incarnation, chunk_index):
+        self.plan(phase, worker_id, incarnation, chunk_index)

@@ -1,0 +1,120 @@
+"""Fault injection: ``kill -9`` a live ingest fleet, still merge exactly.
+
+The acceptance gate of the distributed tier: a simulated cluster of
+worker processes with a *seeded crash schedule* — real ``SIGKILL`` via
+``os.kill``, at chunk boundaries and mid-chunk — must converge to a
+final model bitwise-equal (arrays **and** RNG state, compared through
+the saved container) to the single-process ``stream_fit`` on the same
+source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    PHASE_CHUNK_SENT,
+    PHASE_CHUNK_START,
+    ClusterCoordinator,
+    CrashPlan,
+)
+from repro.exceptions import ClusterError
+from repro.learning import CentroidClassifier
+from repro.serve import save_model
+from repro.streaming import RecordEncode
+
+from .harness import (
+    DIM,
+    CrashingWorker,
+    assert_models_equal,
+    make_encoder,
+    make_stream,
+    model_fingerprint,
+    train_cluster,
+    train_serial,
+)
+
+pytestmark = pytest.mark.cluster
+
+TOTAL_CHUNKS = 9  # make_stream() defaults: 90 rows / chunk_size 10
+
+
+class TestSingleKill:
+    def test_mid_chunk_kill_recovers_exactly(self):
+        """Worker dies before shipping a delta; the restart regenerates it."""
+        stream, encoder = make_stream(), make_encoder()
+        serial = train_serial(stream, encoder)
+        plan = CrashPlan.at((1, 0, 4, PHASE_CHUNK_START))
+        merged, stats = train_cluster(stream, encoder, 3, hook=plan)
+        assert stats.chunks == TOTAL_CHUNKS
+        assert_models_equal(merged, serial)
+
+    def test_boundary_kill_dedupes_the_replay(self):
+        """Worker dies right after shipping; the replayed delta is dropped."""
+        stream, encoder = make_stream(), make_encoder()
+        serial = train_serial(stream, encoder)
+        plan = CrashPlan.at((2, 0, 5, PHASE_CHUNK_SENT))
+        merged, stats = train_cluster(stream, encoder, 3, hook=plan)
+        assert stats.rows == 90
+        assert_models_equal(merged, serial)
+
+
+class TestSeededSchedules:
+    """The ISSUE's acceptance scenario: >=3 workers, seeded kills, bitwise equality."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_seeded_crash_schedule_is_bitwise_exact(self, seed, tmp_path):
+        stream, encoder = make_stream(), make_encoder()
+        serial = train_serial(stream, encoder)
+        hook = CrashingWorker(seed, workers=3, total_chunks=TOTAL_CHUNKS, kills=2)
+        assert hook.plan.kills, "schedule must actually kill someone"
+        merged, stats = train_cluster(stream, encoder, 3, hook=hook)
+        assert stats.chunks == TOTAL_CHUNKS and stats.rows == 90
+        # bitwise equality through the persisted container: every array
+        # (accumulators, prototypes) plus the manifest, which embeds the
+        # serialised tie-break RNG state.
+        save_model(serial, tmp_path / "serial.npz")
+        save_model(merged, tmp_path / "cluster.npz")
+        assert model_fingerprint(tmp_path / "serial.npz") == model_fingerprint(
+            tmp_path / "cluster.npz"
+        )
+
+    def test_repeated_deaths_of_one_worker(self):
+        """Incarnations 0 and 1 both die; incarnation 2 finishes the range."""
+        stream, encoder = make_stream(), make_encoder()
+        serial = train_serial(stream, encoder)
+        plan = CrashPlan.at(
+            (1, 0, 1, PHASE_CHUNK_START),
+            (1, 1, 4, PHASE_CHUNK_SENT),
+        )
+        merged, _ = train_cluster(stream, encoder, 3, hook=plan)
+        assert_models_equal(merged, serial)
+
+    def test_simultaneous_kills_across_workers(self):
+        stream, encoder = make_stream(), make_encoder()
+        serial = train_serial(stream, encoder)
+        plan = CrashPlan.at(
+            (0, 0, 0, PHASE_CHUNK_START),
+            (1, 0, 1, PHASE_CHUNK_START),
+            (2, 0, 2, PHASE_CHUNK_SENT),
+        )
+        merged, _ = train_cluster(stream, encoder, 3, hook=plan)
+        assert_models_equal(merged, serial)
+
+
+class TestRestartBudget:
+    def test_exceeding_max_restarts_raises(self):
+        # Every incarnation of worker 0 dies on its first chunk: the
+        # restart budget must eventually give up with a ClusterError.
+        plan = CrashPlan.at(*[(0, inc, 0, PHASE_CHUNK_START) for inc in range(10)])
+        clf = CentroidClassifier(DIM, tie_break="zeros", seed=0)
+        coordinator = ClusterCoordinator(
+            clf,
+            make_stream(),
+            RecordEncode(make_encoder()),
+            workers=3,
+            hook=plan,
+            max_restarts=2,
+        )
+        with pytest.raises(ClusterError, match="worker 0"):
+            coordinator.run()

@@ -1,0 +1,148 @@
+"""Checkpoint-cursor resume: interrupted runs finish byte-identically.
+
+Satellite of the distributed tier: every checkpoint written by
+``train --stream`` carries a cursor (chunk frontier, per-worker replay
+positions, tie-break RNG state).  Killing the driver and resuming from
+the checkpoint must land on exactly the bytes of an uninterrupted run —
+for the single-process reducer and the cluster coordinator alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, ModelFormatError
+from repro.experiments.config import ClassificationConfig
+from repro.serve import load_checkpoint, save_model
+from repro.streaming import CURSOR_VERSION, train_pipeline_stream
+
+from .harness import model_fingerprint
+
+pytestmark = pytest.mark.cluster
+
+CFG = dict(stream_samples=90, chunk_size=10, checkpoint_every=2)
+
+
+def config():
+    return ClassificationConfig(dim=128, seed=11)
+
+
+class Interrupt(Exception):
+    pass
+
+
+def interrupted_run(checkpoint, crash_after, **kwargs):
+    def bomb(stats):
+        if stats.chunks == crash_after:
+            raise Interrupt
+
+    with pytest.raises(Interrupt):
+        train_pipeline_stream(
+            "suturing", "circular", config=config(), checkpoint=checkpoint,
+            on_chunk=bomb, **CFG, **kwargs,
+        )
+
+
+class TestCursorRoundTrip:
+    def test_checkpoint_carries_a_cursor(self, tmp_path):
+        ckpt = tmp_path / "ckpt.npz"
+        interrupted_run(ckpt, crash_after=4)
+        _, cursor = load_checkpoint(ckpt)
+        assert cursor is not None
+        assert cursor["version"] == CURSOR_VERSION
+        assert cursor["kind"] == "stream"
+        assert cursor["chunks"] == 4 and cursor["rows"] == 40
+        assert cursor["chunk_size"] == 10
+        assert cursor["per_worker"] == {"0": 4}
+        assert cursor["rng_state"]["bit_generator"] in (
+            "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+        )
+        assert cursor["config"]["seed"] == 11
+
+    @pytest.mark.parametrize("crash_after", [2, 4, 7])
+    def test_resume_matches_uninterrupted(self, tmp_path, crash_after):
+        baseline = tmp_path / "baseline.npz"
+        train_pipeline_stream(
+            "suturing", "circular", config=config(), checkpoint=baseline, **CFG
+        )
+        resumed = tmp_path / "resumed.npz"
+        interrupted_run(resumed, crash_after=crash_after)
+        train_pipeline_stream(
+            "suturing", "circular", config=config(), checkpoint=resumed,
+            resume=True, **CFG,
+        )
+        assert model_fingerprint(baseline) == model_fingerprint(resumed)
+
+    def test_cluster_resume_matches_serial(self, tmp_path):
+        """Coordinator checkpoints a per-worker cursor; resume replays from it."""
+        baseline = tmp_path / "baseline.npz"
+        train_pipeline_stream(
+            "suturing", "circular", config=config(), checkpoint=baseline, **CFG
+        )
+        resumed = tmp_path / "resumed.npz"
+        interrupted_run(resumed, crash_after=5, cluster_workers=3)
+        _, cursor = load_checkpoint(resumed)
+        assert cursor["kind"] == "cluster" and cursor["workers"] == 3
+        # per-worker cursors: first assigned chunk at or past the frontier
+        frontier = cursor["chunks"]
+        for wid, pos in cursor["per_worker"].items():
+            assert pos >= frontier and pos % 3 == int(wid)
+        train_pipeline_stream(
+            "suturing", "circular", config=config(), checkpoint=resumed,
+            resume=True, cluster_workers=3, **CFG,
+        )
+        assert model_fingerprint(baseline) == model_fingerprint(resumed)
+
+    def test_resume_across_modes(self, tmp_path):
+        """A single-process checkpoint resumes under the cluster, and back."""
+        baseline = tmp_path / "baseline.npz"
+        train_pipeline_stream(
+            "suturing", "circular", config=config(), checkpoint=baseline, **CFG
+        )
+        resumed = tmp_path / "resumed.npz"
+        interrupted_run(resumed, crash_after=4)  # single-process crash
+        train_pipeline_stream(
+            "suturing", "circular", config=config(), checkpoint=resumed,
+            resume=True, cluster_workers=3, **CFG,  # cluster finishes it
+        )
+        assert model_fingerprint(baseline) == model_fingerprint(resumed)
+
+
+class TestResumeValidation:
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(InvalidParameterError, match="checkpoint"):
+            train_pipeline_stream(
+                "suturing", "circular", config=config(), resume=True, **CFG
+            )
+
+    def test_resume_rejects_cursorless_checkpoint(self, tmp_path):
+        plain = tmp_path / "plain.npz"
+        pipe, _ = train_pipeline_stream(
+            "suturing", "circular", config=config(), **CFG
+        )
+        save_model(pipe, plain)  # no cursor
+        with pytest.raises(ModelFormatError, match="no resume cursor"):
+            train_pipeline_stream(
+                "suturing", "circular", config=config(), checkpoint=plain,
+                resume=True, **CFG,
+            )
+
+    def test_resume_rejects_config_mismatch(self, tmp_path):
+        ckpt = tmp_path / "ckpt.npz"
+        interrupted_run(ckpt, crash_after=4)
+        with pytest.raises(InvalidParameterError, match="mismatch"):
+            train_pipeline_stream(
+                "suturing", "circular",
+                config=ClassificationConfig(dim=128, seed=99),  # wrong seed
+                checkpoint=ckpt, resume=True, **CFG,
+            )
+
+    def test_resume_rejects_chunk_size_mismatch(self, tmp_path):
+        ckpt = tmp_path / "ckpt.npz"
+        interrupted_run(ckpt, crash_after=4)
+        with pytest.raises(InvalidParameterError, match="mismatch"):
+            train_pipeline_stream(
+                "suturing", "circular", config=config(), checkpoint=ckpt,
+                resume=True, stream_samples=90, chunk_size=15,
+                checkpoint_every=2,
+            )

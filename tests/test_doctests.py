@@ -15,6 +15,7 @@ import pkgutil
 
 import pytest
 
+import repro.cluster
 import repro.experiments
 import repro.hdc
 import repro.learning
@@ -24,6 +25,7 @@ import repro.streaming
 import repro.tuning
 
 PACKAGES = (
+    repro.cluster,
     repro.hdc,
     repro.runtime,
     repro.experiments,

@@ -36,6 +36,7 @@ EXECUTABLE_DOCS = (
     "docs/API.md",
     "docs/STREAMING.md",
     "docs/PERFORMANCE.md",
+    "docs/DISTRIBUTED.md",
 )
 
 #: Markdown inline links: [text](target).  Good enough for these docs —
