@@ -153,10 +153,15 @@ class ClusterCoordinator:
         max_restarts: int = 5,
         mp_start: Union[str, None] = None,
         poll_interval: float = 0.05,
+        ingest: Union[str, None] = None,
     ) -> None:
         self.model = model
         self.source = source
         self.encode = encode
+        # Ingest kernel backend shipped to every worker plan (None defers
+        # to REPRO_INGEST_KERNEL / "auto"); all backends produce
+        # byte-identical deltas, so this only moves throughput.
+        self.ingest = ingest
         self.workers = default_cluster_workers(workers)
         if workers is not None and (
             not isinstance(workers, int) or isinstance(workers, bool) or workers < 1
@@ -224,6 +229,7 @@ class ClusterCoordinator:
             start_index=start_index,
             incarnation=incarnation,
             hook=self.hook,
+            ingest=self.ingest,
         )
         process = self._ctx.Process(
             target=worker_main,

@@ -34,6 +34,7 @@ from typing import Callable, Union
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..hdc.ingest import shard_ingest
 from ..learning.classifier import CentroidClassifier
 from ..learning.merge import shard_delta
 from ..learning.regression import HDRegressor
@@ -86,6 +87,13 @@ class WorkerPlan:
     start_index: int = 0
     incarnation: int = 0
     hook: Callable | None = None
+    #: Ingest kernel backend for the per-chunk delta computation
+    #: (:data:`repro.hdc.ingest.INGEST_BACKENDS`); ``None`` defers to
+    #: ``REPRO_INGEST_KERNEL`` in the worker's environment, then
+    #: ``"auto"``.  Every backend ships byte-identical deltas, so
+    #: replay after a crash is exact whatever the restarted worker
+    #: resolves.
+    ingest: str | None = None
 
     def _fire(self, phase: str, chunk_index: int) -> None:
         if self.hook is not None:
@@ -118,19 +126,25 @@ def worker_main(plan: WorkerPlan, conn) -> None:
                     "cluster ingest needs labelled chunks; this source yields "
                     "targets=None"
                 )
-            encoded = plan.encode(chunk)
-            targets = chunk.targets
-            if classify:
-                # Same label normalisation as encode_reduce, so streamed
-                # cluster models serialise exactly like serial ones.
-                targets = (
-                    targets.tolist()
-                    if isinstance(targets, np.ndarray)
-                    else list(targets)
-                )
-            else:
-                targets = np.asarray(targets, dtype=np.float64)
-            delta = shard_delta(plan.proto, encoded, targets)
+            # Fused ingest first: when the (proto, encode) pair is a
+            # recognised fusible combination the delta is computed
+            # without materialising the encoded chunk — byte-identical
+            # to shard_delta below (asserted in tests/hdc/test_ingest.py).
+            delta = shard_ingest(plan.proto, chunk, plan.encode, backend=plan.ingest)
+            if delta is None:
+                encoded = plan.encode(chunk)
+                targets = chunk.targets
+                if classify:
+                    # Same label normalisation as encode_reduce, so streamed
+                    # cluster models serialise exactly like serial ones.
+                    targets = (
+                        targets.tolist()
+                        if isinstance(targets, np.ndarray)
+                        else list(targets)
+                    )
+                else:
+                    targets = np.asarray(targets, dtype=np.float64)
+                delta = shard_delta(plan.proto, encoded, targets)
             conn.send(
                 (
                     "delta",

@@ -11,7 +11,8 @@ Usage::
     python -m repro.experiments train --out model.npz [--task T] [--basis B]
     python -m repro.experiments train --out model.npz --stream \\
         [--stream-samples N] [--chunk-size C] [--checkpoint CKPT.npz] \\
-        [--cluster-workers N] [--resume]
+        [--cluster-workers N] [--resume] [--input DATA.jsonl|DATA.npy] \\
+        [--ingest-kernel auto|ref|fused|numba]
     python -m repro.experiments serve --model model.npz [--input -]
     python -m repro.experiments serve --model model.npz --stream \\
         [--checkpoint CKPT.npz] [--checkpoint-every N]
@@ -28,7 +29,9 @@ Mars Express regression) and writes the trained model as a portable
 ``.npz`` artifact; with ``--stream`` the training set is generated and
 consumed as an out-of-core chunk stream (:mod:`repro.streaming`), so
 ``--stream-samples`` may exceed RAM while peak memory stays
-O(``--chunk-size``).  ``serve`` loads such an artifact once and answers
+O(``--chunk-size``); ``--input`` ingests a ``.jsonl``/``.npy`` file
+instead of the synthetic generator, and ``--ingest-kernel`` selects the
+fused encode+accumulate backend (:mod:`repro.hdc.ingest`).  ``serve`` loads such an artifact once and answers
 JSONL prediction requests from stdin or a file; with ``--stream`` it
 also learns incrementally from records carrying a ``"target"`` field,
 checkpointing atomically (see ``docs/SERVING.md`` for the model format
@@ -223,6 +226,8 @@ def _run_train(args: argparse.Namespace) -> None:
             checkpoint_every=args.checkpoint_every,
             cluster_workers=args.cluster_workers,
             resume=args.resume,
+            input_path=None if args.input in (None, "-") else args.input,
+            ingest=args.ingest_kernel,
         )
     else:
         with WorkerPool(workers=args.workers) as pool:
@@ -639,7 +644,11 @@ def main(argv: list[str] | None = None) -> int:
                               "`serve-http` repeatable NAME=MODEL.npz pairs — "
                               "every named model is served from one process")
     serving.add_argument("--input", default="-",
-                         help="JSONL request source for `serve`: a path, or - for stdin")
+                         help="JSONL request source for `serve` (a path, or - "
+                              "for stdin); for `train --stream`, a .jsonl or "
+                              ".npy training file ingested instead of the "
+                              "synthetic stream (targets for .npy ride in a "
+                              "sibling <stem>.targets.npy)")
     serving.add_argument("--batch-size", type=int, default=1,
                          help="records per serve micro-batch. The default (1) "
                               "answers every request as it arrives — safe for "
@@ -681,6 +690,13 @@ def main(argv: list[str] | None = None) -> int:
                                 "calibration artifact's cluster.workers, then "
                                 "1 = in-process); the final model is "
                                 "bit-identical for any value")
+    streaming.add_argument("--ingest-kernel",
+                           choices=["auto", "ref", "fused", "numba"],
+                           default=None,
+                           help="ingest kernel backend for `train --stream` "
+                                "reduction (default: REPRO_INGEST_KERNEL env "
+                                "or auto; all choices train bit-identical "
+                                "models — see docs/PERFORMANCE.md)")
     streaming.add_argument("--resume", action="store_true",
                            help="reload --checkpoint (with its resume cursor) "
                                 "and stream only the remaining chunks; the "

@@ -574,6 +574,33 @@ class BundleAccumulator:
         self._accumulate(hvs, -1)
         return self
 
+    def add_counts(
+        self, counts: np.ndarray, total: int
+    ) -> "BundleAccumulator":
+        """Fold pre-reduced per-dimension one-bit counts in; returns ``self``.
+
+        The fused-ingest entry point (:mod:`repro.hdc.ingest`): a backend
+        that has already counted ``total`` hypervectors' one-bits per
+        dimension deposits the integers directly, skipping the
+        pack→unpack round trip of :meth:`add`.  Equivalent to ``add`` on
+        the batch the counts summarise — integer addition is exact and
+        order-free, so the accumulator state is bit-identical.
+        """
+        delta = np.asarray(counts)
+        if delta.shape != (self._dim,):
+            raise DimensionMismatchError(
+                self._dim,
+                delta.shape[-1] if delta.ndim else 0,
+                "BundleAccumulator.add_counts",
+            )
+        if not np.issubdtype(delta.dtype, np.integer):
+            raise InvalidParameterError(
+                f"count deltas must be integers, got dtype {delta.dtype}"
+            )
+        self._counts += delta
+        self._total += int(total)
+        return self
+
     def merge(self, other: "BundleAccumulator") -> "BundleAccumulator":
         """Fold another accumulator in (shard-and-merge bundling)."""
         if not isinstance(other, BundleAccumulator):

@@ -183,6 +183,21 @@ class HDRegressor:
             self._packed_model = None
         return self
 
+    def ingest_counts(self, counts: np.ndarray, total: int) -> "HDRegressor":
+        """Fold a pre-reduced bound-term count delta into the model bundle.
+
+        The fused-ingest entry point (:mod:`repro.hdc.ingest`):
+        ``counts`` is the per-dimension one-bit sum of ``total`` bound
+        terms ``φ(x_i) ⊗ φ_ℓ(y_i)`` that a fused backend computed without
+        materialising the encoded batch.  Equivalent to
+        :meth:`partial_fit` on that batch — integer counts commute — and
+        leaves the tie-break RNG untouched until materialisation.
+        """
+        self._bundle.add_counts(counts, total)
+        self._model = None
+        self._packed_model = None
+        return self
+
     def fit(self, encoded: EncodedBatch, y: np.ndarray) -> "HDRegressor":
         """Accumulate ``φ(x_i) ⊗ φ_ℓ(y_i)`` terms into the model bundle.
 

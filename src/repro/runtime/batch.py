@@ -124,6 +124,17 @@ class BatchEncoder:
         """Bytes held by the fused ``(k, m, d)`` binding table."""
         return self._fused.nbytes
 
+    @property
+    def count_dtype(self) -> type:
+        """Narrowest integer dtype that safely holds per-bit counts.
+
+        Counts are bounded by the channel count ``k``, so int16 is exact
+        for every realistic encoder; the fused ingest tier
+        (:mod:`repro.hdc.ingest`) relies on this being the *same* dtype
+        :meth:`chunk_counts` reduces in, keeping both paths bit-aligned.
+        """
+        return np.int16 if self.num_channels <= 16_000 else np.int64
+
     # -- encoding --------------------------------------------------------------
     def indices(self, features: np.ndarray) -> np.ndarray:
         """Quantise an ``(n, k)`` feature matrix to basis indices.
@@ -148,8 +159,7 @@ class BatchEncoder:
         them), which roughly quarters the reduction's memory traffic.
         """
         gathered = self._fused[self._channel_index[None, :], indices_chunk]
-        dtype = np.int16 if self.num_channels <= 16_000 else np.int64
-        return gathered.sum(axis=1, dtype=dtype)
+        return gathered.sum(axis=1, dtype=self.count_dtype)
 
     def encode_one(
         self,

@@ -48,6 +48,13 @@ class OnlineLearner:
         Similarity-kernel backend for the embedded engine's distance
         scans (``"auto"``/``"gemm"``/``"xor"``; ``None`` defers to the
         ``REPRO_KERNEL`` environment variable).
+    ingest:
+        Ingest kernel backend for :meth:`learn` / :meth:`learn_stream`
+        (:data:`repro.hdc.ingest.INGEST_BACKENDS`; ``None`` defers to
+        ``REPRO_INGEST_KERNEL``, then ``"auto"``).  Every backend
+        updates the model bit-identically — including the serving
+        engine's per-call tie RNG draws — so this only moves
+        throughput.
 
     Example
     -------
@@ -69,8 +76,31 @@ class OnlineLearner:
         pipeline: TrainedPipeline,
         workers: int | None = None,
         backend: str | None = None,
+        ingest: str | None = None,
     ) -> None:
         self.engine = InferenceEngine(pipeline, workers=workers, backend=backend)
+        self.ingest = ingest
+
+    def _stream_encode(self):
+        """The picklable encode this pipeline's learn paths stream through.
+
+        Keyed pipelines get :class:`~repro.hdc.ingest.EngineEncode`
+        (serving-engine tie semantics, bit-identical to
+        ``engine.encode``); keyless pipelines embed one value column.
+        Both carry the attribute markers the fused ingest tier
+        recognises, so :func:`~repro.hdc.ingest.ingest_chunk` can skip
+        the encoded-batch materialisation.
+        """
+        from ..hdc.ingest import EngineEncode
+
+        if self.engine._encoder is not None:
+            pool = None if self.engine._pool.serial else self.engine._pool
+            return EngineEncode(
+                self.engine._encoder, self.pipeline.encode_seed, pool
+            )
+        from ..streaming.train import ValueEncode
+
+        return ValueEncode(self.pipeline.embedding, 0)
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -113,12 +143,25 @@ class OnlineLearner:
         addition — O(d) per class/model, independent of how much traffic
         was absorbed before, and bit-identical to batch-training on the
         same records.  Returns ``self``.
+
+        When the fused ingest tier recognises the pipeline
+        (:func:`repro.hdc.ingest.ingest_chunk`; select with the
+        ``ingest`` constructor argument or ``REPRO_INGEST_KERNEL``) the
+        same update lands without materialising the encoded batch —
+        identical bytes, including the engine's tie RNG draws.
         """
-        encoded = self.engine.encode(features)
-        targets = self._check_targets(targets, encoded.shape[0])
+        from ..hdc.ingest import ingest_chunk
+        from ..streaming.chunks import Chunk
+
+        batch = self.engine._as_batch(features)
+        targets = self._check_targets(targets, batch.shape[0])
         model = self.pipeline.model
         if not isinstance(model, CentroidClassifier):
             targets = np.asarray(targets, dtype=np.float64)
+        chunk = Chunk(features=batch, targets=targets)
+        if ingest_chunk(model, chunk, self._stream_encode(), backend=self.ingest):
+            return self
+        encoded = self.engine.encode(batch)
         model.partial_fit([(encoded, targets)])
         return self
 
@@ -174,7 +217,9 @@ class OnlineLearner:
         through the serving engine (identical bits to request encoding)
         and reduced into the live model via the canonical
         ``partial_fit`` — memory stays O(chunk) however long the stream
-        runs.  With ``checkpoint`` set, the pipeline is atomically
+        runs; when the fused ingest tier recognises the pipeline the
+        encoded chunk is never materialised at all (same bytes, same
+        RNG draws).  With ``checkpoint`` set, the pipeline is atomically
         snapshotted every ``checkpoint_every`` chunks (see
         :meth:`checkpoint`).  Returns the
         :class:`~repro.streaming.StreamStats` of the pass.
@@ -189,8 +234,9 @@ class OnlineLearner:
         stats = encode_reduce(
             self.pipeline.model,
             source,
-            lambda chunk: self.engine.encode(chunk.features),
+            self._stream_encode(),
             on_chunk=hook,
+            ingest=self.ingest,
         )
         if checkpoint is not None:
             # Final snapshot: the tail chunks past the last interval

@@ -12,6 +12,9 @@ This package is that computation's single implementation:
 * :mod:`repro.streaming.sources` — seeded synthetic generators
   (:class:`JigsawsStream`, :class:`MarsExpressStream`) whose per-cell
   RNG substreams make any chunking bit-identical;
+* :mod:`repro.streaming.files` — file-backed sources
+  (:class:`JsonlChunkSource`, :class:`NpyMmapChunkSource`) for
+  ``train --stream --input PATH``, O(chunk) resident memory;
 * :mod:`repro.streaming.reduce` — :func:`stream_encode` (chunking
   invariant record encoding via position-keyed tie coins) and
   :func:`encode_reduce` (the fused encode→\\ ``partial_fit`` stage,
@@ -39,6 +42,7 @@ from .chunks import (
     skip_chunks,
     split_chunks,
 )
+from .files import JsonlChunkSource, NpyMmapChunkSource, file_chunk_source
 from .sources import JigsawsStream, MarsExpressStream
 from .reduce import (
     StreamStats,
@@ -71,7 +75,10 @@ __all__ = [
     "skip_chunks",
     "split_chunks",
     "JigsawsStream",
+    "JsonlChunkSource",
     "MarsExpressStream",
+    "NpyMmapChunkSource",
+    "file_chunk_source",
     "StreamStats",
     "encode_reduce",
     "positional_tie_bits",

@@ -1,0 +1,310 @@
+"""File-backed chunk sources: stream training data from disk, O(chunk) RAM.
+
+The synthetic generators (:mod:`repro.streaming.sources`) exercise the
+out-of-core machinery, but real deployments ingest *files*.  These
+sources implement the same :class:`~repro.streaming.chunks.ChunkSource`
+protocol — chunks in row order, absolute ``start`` offsets, identical
+chunks on every pass — over the two formats the serving tier already
+speaks:
+
+* :class:`JsonlChunkSource` — one JSON object per line with a
+  ``"features"`` array and (for training) a ``"target"`` scalar, the
+  exact record shape of the ``serve`` JSONL loop.  Lines are read
+  lazily, so the file never loads whole.
+* :class:`NpyMmapChunkSource` — a ``(n, k)`` float ``.npy`` array
+  opened with ``mmap_mode="r"``; chunks are zero-copy views into the
+  mapping, so the OS pages rows in and out on demand.
+
+Both plug straight into ``train --stream --input PATH``
+(:func:`file_chunk_source` picks the reader from the extension) and
+therefore into the fused ingest tier (:mod:`repro.hdc.ingest`): the
+positional tie-coin discipline keys randomness by ``chunk.start``, so a
+file replayed with any ``chunk_size`` trains the identical model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .chunks import Chunk, default_chunk_rows
+
+__all__ = [
+    "JsonlChunkSource",
+    "NpyMmapChunkSource",
+    "file_chunk_source",
+]
+
+
+def _as_targets(values: list) -> np.ndarray:
+    """Target buffer → array: float64 when numeric, object otherwise.
+
+    Numeric targets become the float64 array the regression reducer
+    expects; anything else (string class labels) stays an object array,
+    which the classifier path converts with ``.tolist()`` — the same
+    normalisation every other source's targets go through.
+    """
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+        return np.asarray(values, dtype=np.float64)
+    return np.asarray(values, dtype=object)
+
+
+class JsonlChunkSource:
+    """Stream ``{"features": [...], "target": ...}`` JSONL as chunks.
+
+    One JSON object per line, in row order; ``features`` must be a
+    fixed-width numeric array (the width of the first line binds the
+    source's ``num_features``) and ``target`` carries the label or
+    regression value.  A source whose *first* line has no ``target``
+    is an unlabelled prediction stream — then no line may have one
+    (and vice versa); mixing raises, pointing at the offending line.
+
+    Lines are parsed lazily and buffered ``chunk_size`` rows at a time,
+    so peak memory is O(chunk) however large the file.  Iterating twice
+    re-reads the file from the top — identical chunks each pass, as the
+    :class:`~repro.streaming.chunks.ChunkSource` protocol requires.
+
+    Example
+    -------
+    >>> import tempfile, os, json
+    >>> path = os.path.join(tempfile.mkdtemp(), "rows.jsonl")
+    >>> with open(path, "w") as fh:
+    ...     for i in range(5):
+    ...         _ = fh.write(json.dumps(
+    ...             {"features": [float(i), float(-i)], "target": i % 2}) + "\\n")
+    >>> src = JsonlChunkSource(path, chunk_size=2)
+    >>> src.num_features
+    2
+    >>> [(c.start, c.rows) for c in src]
+    [(0, 2), (2, 2), (4, 1)]
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        chunk_size: Union[int, None] = None,
+        split: str = "train",
+        meta: Union[dict[str, Any], None] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.chunk_size = default_chunk_rows(chunk_size)
+        self.split = split
+        self.meta = dict(meta or {})
+        self.meta.setdefault("source", str(self.path))
+        first = self._parse_line(self._first_line(), 1)
+        self.num_features = len(first[0])
+        self._labelled = first[1] is not None
+
+    def _first_line(self) -> str:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if line.strip():
+                    return line
+        raise InvalidParameterError(f"{self.path} holds no records")
+
+    def _parse_line(self, line: str, lineno: int) -> tuple[list, Any]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"{self.path}:{lineno}: not valid JSON ({exc})"
+            ) from exc
+        if not isinstance(record, dict) or "features" not in record:
+            raise InvalidParameterError(
+                f'{self.path}:{lineno}: each line needs a "features" array'
+            )
+        features = record["features"]
+        if not isinstance(features, list) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in features
+        ):
+            raise InvalidParameterError(
+                f'{self.path}:{lineno}: "features" must be a numeric array'
+            )
+        return features, record.get("target")
+
+    @property
+    def labelled(self) -> bool:
+        """Whether the stream carries targets (decided by line 1)."""
+        return self._labelled
+
+    def __iter__(self) -> Iterator[Chunk]:
+        features: list[list] = []
+        targets: list = []
+        start = 0
+
+        def emit() -> Chunk:
+            nonlocal start, features, targets
+            chunk = Chunk(
+                features=np.asarray(features, dtype=np.float64),
+                targets=_as_targets(targets) if self._labelled else None,
+                start=start,
+                split=self.split,
+                meta=self.meta,
+            )
+            start += len(features)
+            features, targets = [], []
+            return chunk
+
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if not line.strip():
+                    continue
+                row, target = self._parse_line(line, lineno)
+                if len(row) != self.num_features:
+                    raise InvalidParameterError(
+                        f"{self.path}:{lineno}: expected {self.num_features} "
+                        f"features, got {len(row)}"
+                    )
+                if (target is None) == self._labelled:
+                    raise InvalidParameterError(
+                        f"{self.path}:{lineno}: "
+                        + (
+                            'missing "target" in a labelled stream'
+                            if self._labelled
+                            else '"target" in an unlabelled stream'
+                        )
+                    )
+                features.append(row)
+                targets.append(target)
+                if len(features) == self.chunk_size:
+                    yield emit()
+        if features:
+            yield emit()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JsonlChunkSource({str(self.path)!r}, k={self.num_features}, "
+            f"chunk_size={self.chunk_size}, split={self.split!r})"
+        )
+
+
+class NpyMmapChunkSource:
+    """Stream a memory-mapped ``.npy`` feature matrix as chunks.
+
+    ``features_path`` holds the ``(n, k)`` feature array and
+    ``targets_path`` (optional) the matching ``(n,)`` targets; both are
+    opened with ``np.load(..., mmap_mode="r")`` and chunks are zero-copy
+    row views, so nothing is read until the consumer touches it and the
+    resident set stays O(chunk) for any ``n``.
+
+    Example
+    -------
+    >>> import tempfile, os
+    >>> d = tempfile.mkdtemp()
+    >>> fp, tp = os.path.join(d, "x.npy"), os.path.join(d, "y.npy")
+    >>> np.save(fp, np.arange(10.0).reshape(5, 2))
+    >>> np.save(tp, np.arange(5.0))
+    >>> src = NpyMmapChunkSource(fp, tp, chunk_size=2)
+    >>> (src.num_rows, src.num_features)
+    (5, 2)
+    >>> [c.rows for c in src]
+    [2, 2, 1]
+    """
+
+    def __init__(
+        self,
+        features_path: Union[str, os.PathLike],
+        targets_path: Union[str, os.PathLike, None] = None,
+        chunk_size: Union[int, None] = None,
+        split: str = "train",
+        meta: Union[dict[str, Any], None] = None,
+    ) -> None:
+        self.path = Path(features_path)
+        self.targets_path = None if targets_path is None else Path(targets_path)
+        self.chunk_size = default_chunk_rows(chunk_size)
+        self.split = split
+        self.meta = dict(meta or {})
+        self.meta.setdefault("source", str(self.path))
+        self._features = np.load(self.path, mmap_mode="r")
+        if self._features.ndim != 2:
+            raise InvalidParameterError(
+                f"{self.path}: expected a (n, k) array, got shape "
+                f"{self._features.shape}"
+            )
+        self._targets = None
+        if self.targets_path is not None:
+            self._targets = np.load(self.targets_path, mmap_mode="r")
+            if self._targets.shape != (self._features.shape[0],):
+                raise InvalidParameterError(
+                    f"{self.targets_path}: expected shape "
+                    f"({self._features.shape[0]},), got {self._targets.shape}"
+                )
+
+    @property
+    def num_rows(self) -> int:
+        return int(self._features.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        return int(self._features.shape[1])
+
+    @property
+    def labelled(self) -> bool:
+        """Whether a targets array rides along."""
+        return self._targets is not None
+
+    def __iter__(self) -> Iterator[Chunk]:
+        for lo in range(0, self.num_rows, self.chunk_size):
+            hi = min(self.num_rows, lo + self.chunk_size)
+            yield Chunk(
+                features=self._features[lo:hi],
+                targets=None if self._targets is None else self._targets[lo:hi],
+                start=lo,
+                split=self.split,
+                meta=self.meta,
+            )
+
+    def __getstate__(self):
+        # Memory maps don't pickle into cluster workers — drop them and
+        # re-open from the paths on the other side.
+        state = self.__dict__.copy()
+        state["_features"] = None
+        state["_targets"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._features = np.load(self.path, mmap_mode="r")
+        if self.targets_path is not None:
+            self._targets = np.load(self.targets_path, mmap_mode="r")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NpyMmapChunkSource({str(self.path)!r}, rows={self.num_rows}, "
+            f"k={self.num_features}, chunk_size={self.chunk_size})"
+        )
+
+
+def file_chunk_source(
+    path: Union[str, os.PathLike],
+    chunk_size: Union[int, None] = None,
+    split: str = "train",
+):
+    """Open ``path`` as a chunk source, picking the reader by extension.
+
+    The ``train --stream --input PATH`` entry point: ``.jsonl`` opens a
+    :class:`JsonlChunkSource`; ``.npy`` opens a
+    :class:`NpyMmapChunkSource`, looking for targets in a sibling
+    ``<stem>.targets.npy`` file (``x.npy`` + ``x.targets.npy``).
+    Anything else raises :class:`~repro.exceptions.InvalidParameterError`.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".jsonl":
+        return JsonlChunkSource(path, chunk_size=chunk_size, split=split)
+    if suffix == ".npy":
+        targets = path.with_suffix(".targets.npy")
+        return NpyMmapChunkSource(
+            path,
+            targets_path=targets if targets.exists() else None,
+            chunk_size=chunk_size,
+            split=split,
+        )
+    raise InvalidParameterError(
+        f"unsupported --input extension {suffix!r} (expected .jsonl or .npy): {path}"
+    )

@@ -283,6 +283,7 @@ def encode_reduce(
     on_chunk: Callable[[StreamStats], None] | None = None,
     prefetch: int = 1,
     stats: StreamStats | None = None,
+    ingest: str | None = None,
 ) -> StreamStats:
     """Stream chunks through ``encode`` straight into ``model``.
 
@@ -313,6 +314,15 @@ def encode_reduce(
     arrays are converted to plain Python labels so streamed models
     serialise exactly like in-memory ones.
 
+    ``ingest`` selects the ingest kernel backend
+    (:data:`repro.hdc.ingest.INGEST_BACKENDS`; ``None`` defers to
+    ``REPRO_INGEST_KERNEL`` and then ``"auto"``).  When
+    :func:`repro.hdc.ingest.ingest_chunk` recognises the
+    ``(model, encode)`` pair it reduces the chunk without materialising
+    the encoded batch — bit-identical to this reference path — and the
+    encode-then-``partial_fit`` body below is skipped for that chunk;
+    otherwise the reference path runs unchanged.
+
     >>> import numpy as np
     >>> from repro.basis import LevelBasis
     >>> from repro.learning import HDRegressor
@@ -326,6 +336,7 @@ def encode_reduce(
     >>> (stats.rows, stats.chunks, model.num_samples)
     (20, 4, 20)
     """
+    from ..hdc.ingest import ingest_chunk
     from ..learning.classifier import CentroidClassifier
 
     stats = stats if stats is not None else StreamStats()
@@ -337,6 +348,11 @@ def encode_reduce(
                 "encode_reduce needs labelled chunks; this source yields "
                 "targets=None"
             )
+        if ingest_chunk(model, chunk, encode, backend=ingest):
+            stats.absorb(chunk.rows)
+            if on_chunk is not None:
+                on_chunk(stats)
+            continue
         encoded = encode(chunk)
         targets = chunk.targets
         if classify:

@@ -97,6 +97,11 @@ class RecordEncode:
     seed: Union[int, None] = 0
     pool: WorkerPool | None = field(default=None, compare=False)
 
+    #: Tie-coin contract for the fused ingest tier
+    #: (:mod:`repro.hdc.ingest`): coins are keyed by absolute row
+    #: position, so a fused backend may block the rows however it likes.
+    tie_semantics = "positional"
+
     def __call__(self, chunk: Chunk):
         return stream_encode(
             self.encoder,
@@ -142,6 +147,7 @@ def stream_fit_classifier(
     pool: WorkerPool | None = None,
     on_chunk: Callable[[StreamStats], None] | None = None,
     stats: StreamStats | None = None,
+    ingest: str | None = None,
 ) -> StreamStats:
     """Train a centroid classifier from a chunk stream, O(chunk) memory.
 
@@ -170,6 +176,7 @@ def stream_fit_classifier(
         RecordEncode(encoder, seed, pool),
         on_chunk=on_chunk,
         stats=stats,
+        ingest=ingest,
     )
 
 
@@ -180,6 +187,7 @@ def stream_fit_regressor(
     column: int = 0,
     on_chunk: Callable[[StreamStats], None] | None = None,
     stats: StreamStats | None = None,
+    ingest: str | None = None,
 ) -> StreamStats:
     """Train an HD regressor from a chunk stream, O(chunk) memory.
 
@@ -198,7 +206,12 @@ def stream_fit_regressor(
     12
     """
     return encode_reduce(
-        model, source, ValueEncode(embedding, column), on_chunk=on_chunk, stats=stats
+        model,
+        source,
+        ValueEncode(embedding, column),
+        on_chunk=on_chunk,
+        stats=stats,
+        ingest=ingest,
     )
 
 
@@ -407,6 +420,8 @@ def train_pipeline_stream(
     resume: bool = False,
     on_chunk: Callable[[StreamStats], None] | None = None,
     cluster_hook: Callable | None = None,
+    input_path: Union[str, os.PathLike, None] = None,
+    ingest: Union[str, None] = None,
 ):
     """Train a servable pipeline from a synthetic stream (``train --stream``).
 
@@ -456,6 +471,18 @@ def train_pipeline_stream(
     cluster_hook:
         Picklable fault-injection hook installed into cluster workers
         (see :class:`~repro.cluster.CrashPlan`); test-only.
+    input_path:
+        Train from a file instead of the synthetic stream: a ``.jsonl``
+        or ``.npy`` path opened with
+        :func:`~repro.streaming.files.file_chunk_source` (the ``train
+        --stream --input PATH`` wiring).  The task still defines the
+        embedding/key construction and the held-out scoring stream; the
+        file's rows must have the task's feature width.
+    ingest:
+        Ingest kernel backend for the reduce stage
+        (:data:`repro.hdc.ingest.INGEST_BACKENDS`; ``None`` defers to
+        ``REPRO_INGEST_KERNEL``, then ``"auto"``).  All backends train
+        bit-identical models.
 
     Returns
     -------
@@ -532,22 +559,28 @@ def train_pipeline_stream(
         config_echo = {"task": task, "basis_kind": basis_kind, "dim": config.dim,
                        "seed": config.seed, "stream_samples": stream_samples}
         stats = StreamStats()
-        train_source: ChunkSource = train_stream
+        ingest_source: ChunkSource = train_stream
+        if input_path is not None:
+            from .files import file_chunk_source
+
+            ingest_source = file_chunk_source(input_path, chunk_size=chunk_size)
+        train_source: ChunkSource = ingest_source
         per_worker_resume = None
         if resume:
             pipeline, cursor = _load_resume_state(checkpoint, config_echo, chunk_size)
             model = pipeline.model
             _restore_model_rng(model, cursor)
             stats = StreamStats(chunks=int(cursor["chunks"]), rows=int(cursor["rows"]))
-            train_source = skip_chunks(train_stream, stats.chunks)
+            train_source = skip_chunks(ingest_source, stats.chunks)
             per_worker_resume = cursor["per_worker"]
         if cluster_workers > 1:
             coordinator = ClusterCoordinator(
                 model,
-                train_stream,
+                ingest_source,
                 ValueEncode(anomaly_embedding),
                 workers=cluster_workers,
                 hook=cluster_hook,
+                ingest=ingest,
             )
 
             def cursor_fn(current: StreamStats) -> dict:
@@ -583,19 +616,23 @@ def train_pipeline_stream(
                 on_chunk,
             )
             stats = stream_fit_regressor(
-                model, anomaly_embedding, train_source, on_chunk=hook, stats=stats
+                model, anomaly_embedding, train_source, on_chunk=hook, stats=stats,
+                ingest=ingest,
             )
         # Count the held-out rows on the scoring pass itself — a second
         # pass over the stream would regenerate all the telemetry.
         counted = _CountingSource(test_stream)
         mse = stream_score_regressor(model, anomaly_embedding, counted)
         num_test = counted.rows
+        stream_meta = {"chunk_size": chunk_size, "chunks": stats.chunks,
+                       "entropy": train_stream.entropy}
+        if input_path is not None:
+            stream_meta["input"] = str(input_path)
         pipeline.metadata.update(
             num_train=stats.rows,
             num_test=num_test,
             test_mse=float(mse),
-            stream={"chunk_size": chunk_size, "chunks": stats.chunks,
-                    "entropy": train_stream.entropy},
+            stream=stream_meta,
         )
     else:
         config = config or ClassificationConfig()
@@ -634,23 +671,29 @@ def train_pipeline_stream(
         config_echo = {"task": task, "basis_kind": basis_kind, "dim": config.dim,
                        "seed": config.seed, "stream_samples": stream_samples}
         stats = StreamStats()
-        train_source = train_stream
+        ingest_source = train_stream
+        if input_path is not None:
+            from .files import file_chunk_source
+
+            ingest_source = file_chunk_source(input_path, chunk_size=chunk_size)
+        train_source = ingest_source
         per_worker_resume = None
         if resume:
             pipeline, cursor = _load_resume_state(checkpoint, config_echo, chunk_size)
             classifier = pipeline.model
             _restore_model_rng(classifier, cursor)
             stats = StreamStats(chunks=int(cursor["chunks"]), rows=int(cursor["rows"]))
-            train_source = skip_chunks(train_stream, stats.chunks)
+            train_source = skip_chunks(ingest_source, stats.chunks)
             per_worker_resume = cursor["per_worker"]
         with WorkerPool(workers=workers) as pool:
             if cluster_workers > 1:
                 coordinator = ClusterCoordinator(
                     classifier,
-                    train_stream,
+                    ingest_source,
                     RecordEncode(encoder, seed=0),
                     workers=cluster_workers,
                     hook=cluster_hook,
+                    ingest=ingest,
                 )
 
                 def cursor_fn(current: StreamStats) -> dict:
@@ -691,15 +734,18 @@ def train_pipeline_stream(
                 )
                 stats = stream_fit_classifier(
                     classifier, encoder, train_source, pool=pool,
-                    on_chunk=hook, stats=stats,
+                    on_chunk=hook, stats=stats, ingest=ingest,
                 )
             acc = stream_score_classifier(classifier, encoder, test_stream, pool=pool)
+        stream_meta = {"chunk_size": chunk_size, "chunks": stats.chunks,
+                       "entropy": train_stream.entropy}
+        if input_path is not None:
+            stream_meta["input"] = str(input_path)
         pipeline.metadata.update(
             num_train=stats.rows,
             num_test=test_stream.num_rows,
             test_accuracy=float(acc),
-            stream={"chunk_size": chunk_size, "chunks": stats.chunks,
-                    "entropy": train_stream.entropy},
+            stream=stream_meta,
         )
     if checkpoint is not None:
         save_model(pipeline, checkpoint, cursor=cursor_fn(stats))

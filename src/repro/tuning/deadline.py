@@ -41,6 +41,14 @@ Targets:
   a mismatch is a structural failure and raises
   :class:`~repro.exceptions.CalibrationError` (exit non-zero in CI)
   rather than a budget miss.
+* ``stream_ingest`` — stream-trains the same classifier twice, through
+  the reference encode-then-``partial_fit`` path and the fused ingest
+  kernel (``ingest="fused"``), interleaved best-of-``repeats``.  The
+  two models must be bit-identical (a divergence raises
+  :class:`~repro.exceptions.CalibrationError` — the fused tier's core
+  contract, not a budget miss).  Budget: ``fused_over_ref_max``, an
+  upper bound on the fused/reference wall-time ratio (``0.83`` gates a
+  ≥ 1.2× fused speedup).
 """
 
 from __future__ import annotations
@@ -67,6 +75,7 @@ _TARGET_BUDGETS = {
     "serve_latency": ("p50_ms", "p99_ms", "fastpath_vs_batch_max"),
     "stream_rss": ("peak_rss_mb", "peak_over_unpacked_max"),
     "serve_concurrency": ("p50_ms", "p99_ms"),
+    "stream_ingest": ("fused_over_ref_max",),
 }
 
 
@@ -344,6 +353,76 @@ def _run_serve_concurrency(spec: WorkloadSpec) -> dict:
     }
 
 
+def _run_stream_ingest(spec: WorkloadSpec) -> dict:
+    """Fused-vs-reference streamed training time at the spec's shape.
+
+    Streams the same synthetic gesture workload into two fresh
+    classifiers — ``ingest="ref"`` (encode then ``partial_fit``) and
+    ``ingest="fused"`` (zero-temporary count accumulation) — with the
+    passes interleaved best-of-``repeats`` so both see the same machine
+    state.  Before any budget check the two models are compared class
+    by class: the fused tier promises bit-identical training, so a
+    divergence raises :class:`~repro.exceptions.CalibrationError`
+    rather than counting as a slow run.
+    """
+    from ..basis import CircularBasis
+    from ..hdc.hypervector import random_hypervectors
+    from ..learning import CentroidClassifier
+    from ..runtime import BatchEncoder
+    from ..streaming import JigsawsStream, stream_fit_classifier
+
+    shape = spec.shape
+    dim = int(shape.get("dim", 2048))
+    rows = int(shape.get("rows", 20_000))
+    chunk_rows = int(shape.get("chunk_rows", 1024))
+    repeats = int(shape.get("repeats", 3))
+
+    embedding = CircularBasis(12, dim, seed=1).circular_embedding(period=2.0 * np.pi)
+    keys = random_hypervectors(18, dim, seed=2)
+
+    def run(ingest: str) -> tuple[float, "CentroidClassifier", int]:
+        stream = JigsawsStream(
+            "suturing", seed=13, chunk_size=chunk_rows,
+            samples_per_gesture=max(1, rows // 15),
+        )
+        encoder = BatchEncoder(keys, embedding, tie_break="zeros",
+                               chunk_size=chunk_rows)
+        classifier = CentroidClassifier(dim, tie_break="zeros", seed=3)
+        start = time.perf_counter()
+        stats = stream_fit_classifier(classifier, encoder, stream, ingest=ingest)
+        return time.perf_counter() - start, classifier, stats.rows
+
+    ref_s = fused_s = float("inf")
+    streamed_rows = 0
+    ref_model = fused_model = None
+    for _ in range(max(1, repeats)):
+        seconds, ref_model, streamed_rows = run("ref")
+        ref_s = min(ref_s, seconds)
+        seconds, fused_model, _ = run("fused")
+        fused_s = min(fused_s, seconds)
+    assert ref_model is not None and fused_model is not None
+    if ref_model.classes != fused_model.classes or any(
+        not np.array_equal(ref_model.class_vector(c), fused_model.class_vector(c))
+        for c in ref_model.classes
+    ):
+        raise CalibrationError(
+            "stream_ingest: the fused ingest kernel trained a model that is "
+            "NOT bit-identical to the reference path — the fused tier broke "
+            "its exactness contract"
+        )
+    return {
+        "rows": streamed_rows,
+        "chunk_rows": chunk_rows,
+        "dim": dim,
+        "ref_seconds": round(ref_s, 4),
+        "fused_seconds": round(fused_s, 4),
+        "ref_rows_per_s": round(streamed_rows / ref_s, 1),
+        "fused_rows_per_s": round(streamed_rows / fused_s, 1),
+        "fused_over_ref": round(fused_s / ref_s, 3),
+        "bit_identical": True,
+    }
+
+
 #: Which measured metric each budget key gates on (and that lower is
 #: better for all of them — every budget is an upper bound).
 _BUDGET_METRICS = {
@@ -352,6 +431,7 @@ _BUDGET_METRICS = {
     "fastpath_vs_batch_max": "fastpath_vs_batch",
     "peak_rss_mb": "peak_rss_mb",
     "peak_over_unpacked_max": "peak_over_unpacked",
+    "fused_over_ref_max": "fused_over_ref",
 }
 
 
@@ -368,6 +448,7 @@ def run_workload(spec: WorkloadSpec) -> dict:
         "serve_latency": _run_serve_latency,
         "stream_rss": _run_stream_rss,
         "serve_concurrency": _run_serve_concurrency,
+        "stream_ingest": _run_stream_ingest,
     }
     measured = runners[spec.target](spec)
     checks = []

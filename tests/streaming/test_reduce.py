@@ -242,6 +242,70 @@ class TestPrefetchChunks:
         assert first.rows == 2
         it.close()  # generator finalisation must not hang or raise
 
+    def _prefetch_threads(self):
+        import threading
+
+        return [
+            t for t in threading.enumerate() if t.name == "repro-chunk-prefetch"
+        ]
+
+    def _assert_producer_gone(self):
+        import time
+
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if not any(t.is_alive() for t in self._prefetch_threads()):
+                return
+            time.sleep(0.01)
+        raise AssertionError("prefetch producer thread is still alive")
+
+    def test_empty_source_yields_nothing(self):
+        class Empty:
+            def __iter__(self):
+                return iter(())
+
+        assert list(prefetch_chunks(Empty())) == []
+        self._assert_producer_gone()
+
+    def test_single_chunk_stream(self):
+        x = np.arange(6.0).reshape(3, 2)
+        chunks = list(prefetch_chunks(array_chunks(x, chunk_size=10)))
+        assert len(chunks) == 1
+        assert chunks[0].start == 0
+        assert np.array_equal(chunks[0].features, x)
+        self._assert_producer_gone()
+
+    def test_close_joins_the_producer_thread(self):
+        """Abandoning the iterator must actually stop the thread, not
+        just detach from it — a long run would otherwise leak one
+        producer per abandoned stream."""
+        x = np.zeros((400, 2))
+        it = prefetch_chunks(array_chunks(x, chunk_size=2), depth=1)
+        next(it)
+        assert any(t.is_alive() for t in self._prefetch_threads())
+        it.close()
+        self._assert_producer_gone()
+
+    @pytest.mark.parametrize("depth", [2, 4])
+    def test_mid_stream_error_reraises_at_depth(self, depth):
+        """The failure contract holds when several chunks are in flight:
+        every chunk produced before the error arrives, then the original
+        exception (same object, not a wrapper) re-raises."""
+        boom = ValueError("disk vanished")
+
+        class ExplodesMidway:
+            def __iter__(self):
+                yield from array_chunks(np.zeros((8, 1)), chunk_size=2)
+                raise boom
+
+        consumed = []
+        with pytest.raises(ValueError) as excinfo:
+            for chunk in prefetch_chunks(ExplodesMidway(), depth=depth):
+                consumed.append(chunk.rows)
+        assert excinfo.value is boom
+        assert consumed == [2, 2, 2, 2]
+        self._assert_producer_gone()
+
     def test_encode_reduce_prefetch_is_bit_identical(self):
         y = np.arange(24) % 3
         x = np.random.default_rng(7).uniform(0, TWO_PI, (24, 4))

@@ -248,3 +248,83 @@ class TestConsumers:
         monkeypatch.setenv("REPRO_KERNEL_THREADS", "2")
         assert kernel_threads() == 2
         assert kernel_threads(9) == 9
+
+    def test_ingest_knobs_consumer(self, tmp_path, monkeypatch):
+        from repro.hdc.ingest import (
+            DEFAULT_BLOCK_ROWS,
+            DEFAULT_FUSED_MIN_ROWS,
+            ingest_block_rows,
+            ingest_fused_min_rows,
+            use_fused,
+        )
+
+        assert ingest_block_rows() == DEFAULT_BLOCK_ROWS
+        assert ingest_fused_min_rows() == DEFAULT_FUSED_MIN_ROWS
+        self._activate(
+            tmp_path,
+            monkeypatch,
+            {"ingest": {"block_rows": 96, "fused_min_rows": 7}},
+        )
+        assert ingest_block_rows() == 96
+        assert ingest_fused_min_rows() == 7
+        assert use_fused(7) and not use_fused(6)
+        monkeypatch.setenv("REPRO_INGEST_BLOCK_ROWS", "48")
+        assert ingest_block_rows() == 48  # env still beats the artifact
+        assert ingest_block_rows(13) == 13  # explicit arg beats everything
+
+
+class TestIngestKnobCacheInvalidation:
+    """The memoised ``ingest.*`` knobs never serve a stale artifact.
+
+    The ingest tier memoises its resolved ``(block_rows,
+    fused_min_rows)`` pair for hot-loop dispatch, so the memo must be
+    dropped whenever the active calibration can have changed: an
+    explicit ``invalidate_cache()``, an in-process ``save_calibration``
+    (re-calibration), or the process flipping ``REPRO_CALIBRATION`` to a
+    different artifact mid-run.
+    """
+
+    def _artifact(self, tmp_path, name, min_rows):
+        return save_calibration(
+            Calibration.from_knobs({"ingest": {"fused_min_rows": min_rows}}),
+            tmp_path / name,
+        )
+
+    def test_env_switch_mid_process_re_resolves(self, tmp_path, monkeypatch):
+        from repro.hdc.ingest import ingest_fused_min_rows
+
+        first = self._artifact(tmp_path, "a.json", 11)
+        second = self._artifact(tmp_path, "b.json", 222)
+        monkeypatch.setenv("REPRO_CALIBRATION", str(first))
+        assert ingest_fused_min_rows() == 11
+        # Flip the artifact without touching any cache hook: the memo
+        # key includes the raw env string, so this alone must re-resolve.
+        monkeypatch.setenv("REPRO_CALIBRATION", str(second))
+        assert ingest_fused_min_rows() == 222
+        monkeypatch.delenv("REPRO_CALIBRATION")
+        from repro.hdc.ingest import DEFAULT_FUSED_MIN_ROWS
+
+        assert ingest_fused_min_rows() == DEFAULT_FUSED_MIN_ROWS
+
+    def test_save_calibration_invalidates_warm_memo(self, tmp_path, monkeypatch):
+        from repro.hdc.ingest import ingest_fused_min_rows
+
+        path = self._artifact(tmp_path, "calibration.json", 33)
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        assert ingest_fused_min_rows() == 33  # warm the memo
+        # Re-calibrating over the same path (same env string, so the
+        # memo key alone would not notice) must still be picked up:
+        # save_calibration clears every registered knob cache.
+        self._artifact(tmp_path, "calibration.json", 44)
+        assert ingest_fused_min_rows() == 44
+
+    def test_invalidate_cache_clears_the_memo(self, tmp_path, monkeypatch):
+        from repro.hdc import ingest
+
+        path = self._artifact(tmp_path, "calibration.json", 55)
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        assert ingest.ingest_fused_min_rows() == 55
+        assert ingest._knob_memo  # warmed
+        invalidate_cache()
+        assert not ingest._knob_memo
+        assert ingest.ingest_fused_min_rows() == 55  # re-resolves cleanly
