@@ -17,7 +17,8 @@ Run::
 
     PYTHONPATH=src python benchmarks/bench_cluster_ingest.py [--fast]
 
-Writes ``BENCH_cluster.json`` at the repository root (the CI
+Writes ``benchmarks/results/BENCH_cluster.json`` (plus a headline stub
+at the repository root; the CI
 ``cluster-sim`` job runs ``--fast``).
 """
 
@@ -44,8 +45,9 @@ from repro.learning import CentroidClassifier
 from repro.runtime import BatchEncoder
 from repro.streaming import JigsawsStream, RecordEncode, stream_fit_classifier
 
+from _results import write_result
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
-OUT_PATH = REPO_ROOT / "BENCH_cluster.json"
 
 #: Fault-recovery overhead ceiling: a two-kill run may cost at most this
 #: many times the clean run at the same worker count (replay is bounded
@@ -164,9 +166,20 @@ def main() -> None:
     args = parser.parse_args()
 
     summary = run_suite(fast=args.fast)
-    OUT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    out_path = write_result(
+        "BENCH_cluster",
+        summary,
+        summary={
+            "mode": summary["mode"],
+            "bitwise_identical": summary["bitwise_identical"],
+            "best_rows_per_second": max(
+                point["rows_per_second"] for point in summary["scaling"]
+            ),
+            "faulty_overhead_vs_clean": summary["faulty"]["overhead_vs_clean"],
+        },
+    )
     print(json.dumps(summary, indent=2))
-    print(f"\nsummary written to {OUT_PATH}")
+    print(f"\nsummary written to {out_path}")
 
     failures = check_gates(summary)
     if failures:

@@ -2,7 +2,8 @@
 
 Measures the exact kernel backends of :mod:`repro.hdc.kernels`
 (``xor``, ``xor-mt``, ``gemm``, ``auto``) against each other and writes
-a machine-readable summary to the repo-root ``BENCH_kernels.json``
+a machine-readable report to ``benchmarks/results/BENCH_kernels.json``
+(plus a headline stub at the repo root)
 (committed, so the perf trajectory is tracked across PRs).  Four
 sections:
 
@@ -55,8 +56,9 @@ from repro.hdc.kernels import (
     use_xor_mt,
 )
 
+from _results import write_result
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
-OUT_PATH = REPO_ROOT / "BENCH_kernels.json"
 
 #: Timing tolerance for the "gemm beats xor beyond the crossover" gate —
 #: absorbs scheduler noise on shared CI runners without hiding a real
@@ -242,9 +244,9 @@ def main() -> None:
     args = parser.parse_args()
 
     summary = run_suite(fast=args.fast)
-    OUT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    out_path = write_result("BENCH_kernels", summary, summary=summary["headline"])
     print(json.dumps(summary, indent=2))
-    print(f"\nsummary written to {OUT_PATH}")
+    print(f"\nsummary written to {out_path}")
     print(f"headline: {summary['headline']['speedup_gemm_over_xor']}x gemm over xor "
           f"({summary['headline']['workload']})")
 

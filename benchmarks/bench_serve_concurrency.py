@@ -24,7 +24,8 @@ reduced scale).  A socket-level replay through a live ``serve-http``
 server (:class:`~repro.serve.replay.HTTPReplayClient`) re-checks
 bit-identity over the full network path.
 
-Writes ``BENCH_serve_concurrency.json`` at the repo root.  Run it::
+Writes ``benchmarks/results/BENCH_serve_concurrency.json`` (plus a
+headline stub at the repo root).  Run it::
 
     PYTHONPATH=src python benchmarks/bench_serve_concurrency.py [--fast]
 """
@@ -54,6 +55,8 @@ from repro.serve import (
     oracle_transcript,
     replay_async,
 )
+
+from _results import write_result
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -211,8 +214,16 @@ def main() -> None:
     args = parser.parse_args()
 
     summary = run_suite(fast=args.fast)
-    out_path = REPO_ROOT / "BENCH_serve_concurrency.json"
-    out_path.write_text(json.dumps(summary, indent=2) + "\n")
+    out_path = write_result(
+        "BENCH_serve_concurrency",
+        summary,
+        summary={
+            "mode": summary["mode"],
+            "oracle": summary["oracle"],
+            "batched_p99_ms": summary["batched"]["p99_ms"],
+            "batching_speedup": summary["batching_speedup"],
+        },
+    )
     print(json.dumps(summary, indent=2))
     print(f"\nsummary written to {out_path}")
 

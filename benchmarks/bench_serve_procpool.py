@@ -1,0 +1,234 @@
+"""Process-pool serving benchmark: shared-memory fan-out vs the threaded tier.
+
+Drives the same coalesced predict workload through the serving tier two
+ways and proves the multi-process topology both exact and worthwhile:
+
+* **threaded** — one :class:`~repro.serve.engine.InferenceEngine` with
+  the thread-sharded predict path (``workers`` = CPU count,
+  ``proc_workers=1``): distance scans shard across a thread pool inside
+  one process;
+* **procpool** — the same pipeline with ``proc_workers`` = CPU count:
+  the packed model tables are published once into a shared-memory
+  segment and row ranges scan in worker *processes*
+  (:mod:`repro.serve.procpool`), sidestepping the GIL entirely.
+
+Gates (both modes): every batch from both tiers must be
+**bit-identical** to the sequential ``predict_one`` oracle — process
+fan-out must never change a single answer — the pool must survive a
+``SIGKILL``-ed worker mid-run (respawn, resend, same answers), and
+shutting the engines down must leave **zero** shared-memory segments
+behind.  In full mode on a ≥ :data:`MIN_GATE_CORES`-core host the
+procpool tier must additionally reach at least :data:`SPEEDUP_GATE` ×
+the threaded tier's aggregate predict throughput (fast mode and small
+hosts record the ratio without gating it — a 1–2 core runner has no
+parallelism for either tier to win).
+
+Writes ``benchmarks/results/BENCH_serve_mp.json``.  Run it::
+
+    PYTHONPATH=src python benchmarks/bench_serve_procpool.py [--fast]
+"""
+
+from __future__ import annotations
+
+import _bootstrap  # noqa: F401  (sys.path shim: run from checkout or install)
+
+import argparse
+import json
+import os
+import signal
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.experiments.config import ClassificationConfig, RegressionConfig
+from repro.experiments.serving import (
+    train_classification_pipeline,
+    train_regression_pipeline,
+)
+from repro.serve import InferenceEngine
+
+from _results import write_result
+
+#: Aggregate-throughput floor for the procpool tier over the threaded
+#: tier — enforced only in full mode on hosts with enough cores for
+#: process fan-out to have something to win with.
+SPEEDUP_GATE = 1.8
+
+#: Cores below which the speedup gate is recorded but not enforced.
+MIN_GATE_CORES = 4
+
+
+def _rows_for(pipeline, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 2.0 * np.pi, (n, pipeline.num_features))
+
+
+def _throughput(engine: InferenceEngine, batches: list[np.ndarray], repeats: int) -> float:
+    """Best-of-``repeats`` aggregate rows/second over all batches."""
+    total_rows = sum(len(b) for b in batches)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for batch in batches:
+            engine.predict_coalesced(batch)
+        best = min(best, time.perf_counter() - start)
+    return total_rows / best
+
+
+def _transcript(engine: InferenceEngine, batches: list[np.ndarray]) -> list:
+    out = []
+    for batch in batches:
+        out.extend(engine.predict_coalesced(batch))
+    return out
+
+
+def _segment_leaked(name: str) -> bool:
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+def run_suite(fast: bool) -> dict:
+    cpus = os.cpu_count() or 1
+    proc_workers = max(2, cpus)
+    dim = 512 if fast else 2048
+    batch_rows = 32 if fast else 128
+    n_batches = 4 if fast else 8
+    repeats = 2 if fast else 3
+
+    cls_pipe = train_classification_pipeline(
+        "suturing", config=ClassificationConfig(dim=dim, seed=7)
+    )
+    reg_pipe = train_regression_pipeline(config=RegressionConfig(dim=dim, seed=3))
+
+    summary: dict = {
+        "mode": "fast" if fast else "full",
+        "cpus": cpus,
+        "proc_workers": proc_workers,
+        "dim": dim,
+        "workload": (
+            f"{n_batches} coalesced batches x {batch_rows} rows, "
+            "classification + regression"
+        ),
+        "models": {},
+    }
+
+    segments: list[str] = []
+    for name, pipeline, seed in (
+        ("classification", cls_pipe, 11),
+        ("regression", reg_pipe, 13),
+    ):
+        batches = [
+            _rows_for(pipeline, batch_rows, seed + i) for i in range(n_batches)
+        ]
+        with InferenceEngine(pipeline, proc_workers=1) as inline:
+            oracle = [
+                inline.predict_one(row) for batch in batches for row in batch
+            ]
+
+        with InferenceEngine(
+            pipeline, workers=cpus, proc_workers=1
+        ) as threaded, InferenceEngine(
+            pipeline, proc_workers=proc_workers
+        ) as procful:
+            assert procful._proc is not None, "proc pool failed to build"
+            segments.append(procful._proc.segment_name)
+
+            threaded_answers = _transcript(threaded, batches)
+            proc_answers = _transcript(procful, batches)
+            threaded_match = all(
+                a == b for a, b in zip(threaded_answers, oracle)
+            ) and len(threaded_answers) == len(oracle)
+            proc_match = all(
+                a == b for a, b in zip(proc_answers, oracle)
+            ) and len(proc_answers) == len(oracle)
+
+            threaded_rps = _throughput(threaded, batches, repeats)
+            proc_rps = _throughput(procful, batches, repeats)
+
+            # SIGKILL a worker mid-life: the pool must respawn it and
+            # still answer every row exactly.
+            victim = procful._proc._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(5)
+            killed_answers = _transcript(procful, batches)
+            killed_match = killed_answers == proc_answers
+
+        summary["models"][name] = {
+            "oracle_rows": len(oracle),
+            "threaded_oracle_match": bool(threaded_match),
+            "procpool_oracle_match": bool(proc_match),
+            "procpool_oracle_match_after_sigkill": bool(killed_match),
+            "threaded_rows_per_s": round(threaded_rps, 1),
+            "procpool_rows_per_s": round(proc_rps, 1),
+            "procpool_over_threaded": round(proc_rps / threaded_rps, 2),
+        }
+
+    summary["leaked_segments"] = [s for s in segments if _segment_leaked(s)]
+    summary["aggregate_speedup"] = round(
+        sum(m["procpool_rows_per_s"] for m in summary["models"].values())
+        / sum(m["threaded_rows_per_s"] for m in summary["models"].values()),
+        2,
+    )
+    summary["speedup_gate"] = SPEEDUP_GATE
+    summary["gate_enforced"] = bool(not fast and cpus >= MIN_GATE_CORES)
+    return summary
+
+
+def check_gates(summary: dict) -> list[str]:
+    failures = []
+    for name, model in summary["models"].items():
+        for key in (
+            "threaded_oracle_match",
+            "procpool_oracle_match",
+            "procpool_oracle_match_after_sigkill",
+        ):
+            if not model[key]:
+                failures.append(
+                    f"{name}: {key} is False — the serving tier broke the "
+                    "bit-identity contract"
+                )
+    if summary["leaked_segments"]:
+        failures.append(
+            f"{len(summary['leaked_segments'])} shared-memory segment(s) "
+            f"leaked after engine shutdown: {summary['leaked_segments']}"
+        )
+    if summary["gate_enforced"] and summary["aggregate_speedup"] < SPEEDUP_GATE:
+        failures.append(
+            f"procpool aggregate throughput is only "
+            f"{summary['aggregate_speedup']}x the threaded tier "
+            f"(gate: {SPEEDUP_GATE}x at >= {MIN_GATE_CORES} cores)"
+        )
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced scale for CI perf-smoke runs")
+    args = parser.parse_args()
+
+    summary = run_suite(fast=args.fast)
+    out_path = write_result("BENCH_serve_mp", summary)
+    print(json.dumps(summary, indent=2))
+    print(f"\nsummary written to {out_path}")
+
+    failures = check_gates(summary)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        raise SystemExit(1)
+    status = "enforced" if summary["gate_enforced"] else "recorded (not enforced)"
+    print(
+        f"all procpool gates passed — aggregate speedup "
+        f"{summary['aggregate_speedup']}x over the threaded tier, "
+        f"speedup gate {status}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,7 @@ from typing import Callable, Union
 
 from ..exceptions import ClusterError, InvalidParameterError
 from ..learning.merge import absorb_delta
+from ..runtime.pool import default_start_method
 from ..streaming.chunks import ChunkSource
 from ..streaming.reduce import StreamStats
 from .worker import WorkerPlan, worker_main, worker_proto
@@ -73,9 +74,6 @@ def default_cluster_workers(workers: Union[int, None] = None) -> int:
     return max(1, int(value))
 
 
-def _default_start_method() -> str:
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else "spawn"
 
 
 @dataclass
@@ -176,7 +174,7 @@ class ClusterCoordinator:
         self.hook = hook
         self.max_restarts = max_restarts
         self.poll_interval = poll_interval
-        self._ctx = multiprocessing.get_context(mp_start or _default_start_method())
+        self._ctx = multiprocessing.get_context(mp_start or default_start_method())
         self._proto = worker_proto(model)
         # merge state (rebuilt by run())
         self._frontier = 0

@@ -11,14 +11,16 @@ Usage::
     python -m repro.experiments train --out model.npz [--task T] [--basis B]
     python -m repro.experiments train --out model.npz --stream \\
         [--stream-samples N] [--chunk-size C] [--checkpoint CKPT.npz] \\
-        [--cluster-workers N] [--resume] [--input DATA.jsonl|DATA.npy] \\
+        [--cluster-workers N] [--resume] \\
+        [--input DATA.jsonl|DATA.csv|DATA.npy] \\
         [--ingest-kernel auto|ref|fused|numba]
     python -m repro.experiments serve --model model.npz [--input -]
     python -m repro.experiments serve --model model.npz --stream \\
         [--checkpoint CKPT.npz] [--checkpoint-every N]
     python -m repro.experiments serve-http --model NAME=model.npz \\
         [--model NAME2=other.npz ...] [--host H] [--port P] \\
-        [--batch-window-ms W] [--batch-max B] [--max-queue Q]
+        [--batch-window-ms W] [--batch-max B] [--max-queue Q] \\
+        [--proc-workers N]
     python -m repro.experiments calibrate [--fast] [--out CALIBRATION.json] \\
         [--report REPORT.json]
     python -m repro.experiments check-deadline --workload SPEC.json \\
@@ -29,8 +31,8 @@ Mars Express regression) and writes the trained model as a portable
 ``.npz`` artifact; with ``--stream`` the training set is generated and
 consumed as an out-of-core chunk stream (:mod:`repro.streaming`), so
 ``--stream-samples`` may exceed RAM while peak memory stays
-O(``--chunk-size``); ``--input`` ingests a ``.jsonl``/``.npy`` file
-instead of the synthetic generator, and ``--ingest-kernel`` selects the
+O(``--chunk-size``); ``--input`` ingests a ``.jsonl``/``.csv``/``.npy``
+file instead of the synthetic generator, and ``--ingest-kernel`` selects the
 fused encode+accumulate backend (:mod:`repro.hdc.ingest`).  ``serve`` loads such an artifact once and answers
 JSONL prediction requests from stdin or a file; with ``--stream`` it
 also learns incrementally from records carrying a ``"target"`` field,
@@ -42,7 +44,10 @@ and ``docs/STREAMING.md`` for the streaming protocol).
 requests coalesce into single kernel calls, bit-identical to sequential
 serving), bounded-queue admission control (429 on overload) and a
 zero-downtime ``:swap`` endpoint for hot model replacement — see
-``docs/SERVING.md`` for the full walkthrough.
+``docs/SERVING.md`` for the full walkthrough.  With ``--proc-workers``
+above 1 every model's packed tables are published into a shared-memory
+segment and coalesced batches shard across worker processes
+(:mod:`repro.serve.procpool`), bit-identical to in-process serving.
 
 Runtime flags (see ``docs/REPRODUCING.md`` for per-artifact guidance):
 
@@ -476,7 +481,9 @@ def _run_serve_http(args: argparse.Namespace) -> None:
 
     if not args.model:
         raise SystemExit("serve-http requires at least one --model NAME=MODEL.npz")
-    registry = ModelRegistry(workers=args.workers, backend=args.kernel)
+    registry = ModelRegistry(
+        workers=args.workers, backend=args.kernel, proc_workers=args.proc_workers
+    )
     try:
         for spec in args.model:
             name, sep, path = spec.partition("=")
@@ -645,10 +652,11 @@ def main(argv: list[str] | None = None) -> int:
                               "every named model is served from one process")
     serving.add_argument("--input", default="-",
                          help="JSONL request source for `serve` (a path, or - "
-                              "for stdin); for `train --stream`, a .jsonl or "
-                              ".npy training file ingested instead of the "
-                              "synthetic stream (targets for .npy ride in a "
-                              "sibling <stem>.targets.npy)")
+                              "for stdin); for `train --stream`, a .jsonl, "
+                              ".csv or .npy training file ingested instead of "
+                              "the synthetic stream (targets for .npy ride in "
+                              "a sibling <stem>.targets.npy; for .csv in the "
+                              "column named 'target')")
     serving.add_argument("--batch-size", type=int, default=1,
                          help="records per serve micro-batch. The default (1) "
                               "answers every request as it arrives — safe for "
@@ -722,6 +730,13 @@ def main(argv: list[str] | None = None) -> int:
                       help="max in-flight requests per model before 429 "
                            "backpressure (default: REPRO_SERVE_MAX_QUEUE env, "
                            "then serve.max_queue, then 256)")
+    http.add_argument("--proc-workers", type=int, default=None,
+                      help="worker processes for the shared-memory predict "
+                           "tier; 0 = auto (one per CPU on >=4-core hosts), "
+                           "1 = in-process only (default: "
+                           "REPRO_SERVE_PROC_WORKERS env, then "
+                           "serve.proc_workers, then auto); answers are "
+                           "bit-identical for any value")
     tuning = parser.add_argument_group("tuning (calibrate / check-deadline targets)")
     tuning.add_argument("--report", default=None, metavar="REPORT.json",
                         help="where `calibrate` writes the raw measurement "
@@ -753,6 +768,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--batch-max must be positive, got {args.batch_max}")
     if args.max_queue is not None and args.max_queue < 1:
         parser.error(f"--max-queue must be positive, got {args.max_queue}")
+    if args.proc_workers is not None and args.proc_workers < 0:
+        parser.error(f"--proc-workers must be >= 0, got {args.proc_workers}")
     if args.workers is None:
         # Unconfigured callers get the calibrated default (builtin: 1);
         # an explicit --workers (incl. 0 = one per CPU) passes through.

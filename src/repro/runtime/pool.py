@@ -31,7 +31,12 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..exceptions import InvalidParameterError
 
-__all__ = ["WorkerPool", "default_workers", "resolve_workers"]
+__all__ = [
+    "WorkerPool",
+    "default_start_method",
+    "default_workers",
+    "resolve_workers",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -48,6 +53,23 @@ def _star_apply(fn_args: tuple[Callable[..., R], tuple]) -> R:
     """Unpack ``(fn, args)`` — module-level so the process backend can pickle it."""
     fn, args = fn_args
     return fn(*args)
+
+
+def default_start_method() -> str:
+    """The ``multiprocessing`` start method process-backed tiers use.
+
+    ``fork`` where the platform offers it (cheap, inherits the loaded
+    model/tables without re-import), else ``spawn`` — the one rule
+    shared by the ingest cluster coordinator and the serving
+    :class:`~repro.serve.procpool.ProcPredictPool`.
+
+    >>> default_start_method() in ("fork", "spawn")
+    True
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
 
 
 def resolve_workers(workers: int | None) -> int:

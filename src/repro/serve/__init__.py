@@ -22,6 +22,10 @@ servable:
 * :mod:`repro.serve.batching` — :class:`MicroBatcher`, the adaptive
   scheduler that coalesces concurrent requests into single kernel
   calls, bit-identical to sequential serving;
+* :mod:`repro.serve.procpool` — :class:`ProcPredictPool`, the
+  multi-process predict tier: packed model tables published once into a
+  shared-memory segment, mapped zero-copy by worker processes, with
+  kill-safe segment manifests and SIGKILL-tolerant worker respawn;
 * :mod:`repro.serve.server` — :class:`ServeServer` /
   :class:`ServerThread`, the asyncio HTTP front end (multi-model
   routing, 429 backpressure, ``:swap`` endpoint);
@@ -48,6 +52,12 @@ from .persist import (
     save_model,
 )
 from .pipeline import TrainedPipeline
+from .procpool import (
+    ProcPredictPool,
+    auto_proc_workers,
+    default_proc_workers,
+    reap_stale_segments,
+)
 from .registry import EngineLease, ModelRegistry
 from .replay import (
     HTTPReplayClient,
@@ -76,6 +86,10 @@ __all__ = [
     "ModelRegistry",
     "EngineLease",
     "MicroBatcher",
+    "ProcPredictPool",
+    "auto_proc_workers",
+    "default_proc_workers",
+    "reap_stale_segments",
     "ServeServer",
     "ServerThread",
     "json_scalar",

@@ -47,6 +47,8 @@ __all__ = [
     "DEFAULT_BATCH_WINDOW_MS",
     "DEFAULT_BATCH_MAX",
     "DEFAULT_MAX_QUEUE",
+    "LATENCY_BUCKETS_S",
+    "BATCH_SIZE_BUCKETS",
     "default_batch_window_ms",
     "default_batch_max",
     "default_max_queue",
@@ -64,6 +66,37 @@ DEFAULT_BATCH_MAX = 32
 #: Built-in bound on admitted-but-unanswered requests per model
 #: (``serve.max_queue``); beyond it, submits fail with backpressure.
 DEFAULT_MAX_QUEUE = 256
+
+#: Upper edges (seconds) of the request-latency histogram kept in
+#: :attr:`MicroBatcher.stats` and exported by the HTTP tier's
+#: ``/metrics`` endpoint; the final implicit bucket is ``+Inf``.
+LATENCY_BUCKETS_S = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Upper edges (rows) of the coalesced-batch-size histogram; the final
+#: implicit bucket is ``+Inf`` (batches above ``max_batch`` never occur,
+#: but the edges are fixed so series from differently-tuned replicas
+#: aggregate).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def _bucket_counts(edges: tuple) -> list[int]:
+    return [0] * (len(edges) + 1)
+
+
+def _observe(edges: tuple, counts: list[int], value: float) -> None:
+    """Increment the first bucket whose upper edge admits ``value``.
+
+    Non-cumulative per-bucket counts; the Prometheus rendering
+    (:meth:`~repro.serve.server.ServeServer` ``/metrics``) re-cumulates
+    them, keeping the hot path to one integer increment.
+    """
+    for i, edge in enumerate(edges):
+        if value <= edge:
+            counts[i] += 1
+            return
+    counts[-1] += 1
 
 
 def default_batch_window_ms(window_ms: float | None = None) -> float:
@@ -190,6 +223,13 @@ class MicroBatcher:
             "batches": 0,
             "max_batch_seen": 0,
             "max_pending_seen": 0,
+            # Histogram state for the /metrics endpoint: per-bucket
+            # (non-cumulative) counts over the fixed module-level edges,
+            # plus the sums Prometheus histograms carry.
+            "latency_seconds_sum": 0.0,
+            "latency_buckets": _bucket_counts(LATENCY_BUCKETS_S),
+            "batch_rows_sum": 0,
+            "batch_buckets": _bucket_counts(BATCH_SIZE_BUCKETS),
         }
 
     # -- lifecycle -------------------------------------------------------------
@@ -240,12 +280,17 @@ class MicroBatcher:
         self.stats["max_pending_seen"] = max(
             self.stats["max_pending_seen"], self._pending
         )
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
         self._queue.put_nowait((features, future))
+        start = loop.time()
         try:
             return await future
         finally:
             self._pending -= 1
+            elapsed = loop.time() - start
+            self.stats["latency_seconds_sum"] += elapsed
+            _observe(LATENCY_BUCKETS_S, self.stats["latency_buckets"], elapsed)
 
     # -- scheduler loop ----------------------------------------------------------
     async def _collect(self) -> list[tuple]:
@@ -282,6 +327,8 @@ class MicroBatcher:
             self.stats["max_batch_seen"] = max(
                 self.stats["max_batch_seen"], len(batch)
             )
+            self.stats["batch_rows_sum"] += len(batch)
+            _observe(BATCH_SIZE_BUCKETS, self.stats["batch_buckets"], len(batch))
             lease = self.registry.lease(self.name)
             try:
                 rows = np.asarray([features for features, _ in batch], dtype=np.float64)

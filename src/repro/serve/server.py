@@ -13,6 +13,10 @@ API surface (all request/response bodies are JSON):
 
 ===========================================  =================================
 ``GET /healthz``                             liveness + model names
+``GET /metrics``                             Prometheus text exposition:
+                                             per-model request/rejection
+                                             counters, batch-size and
+                                             request-latency histograms
 ``GET /v1/models``                           registry listing with metadata
 ``POST /v1/models/<name>:predict``           ``{"features": [...]}`` → one
                                              prediction, or
@@ -46,7 +50,7 @@ from typing import Any
 import numpy as np
 
 from ..exceptions import BackpressureError, InvalidParameterError, ReproError
-from .batching import MicroBatcher
+from .batching import BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_S, MicroBatcher
 from .registry import ModelRegistry
 
 __all__ = ["ServeServer", "ServerThread", "json_scalar"]
@@ -193,6 +197,72 @@ class ServeServer:
         """Per-model scheduler counters (requests, batches, rejections)."""
         return {name: dict(b.stats) for name, b in self._batchers.items()}
 
+    def _render_metrics(self) -> str:
+        """The ``/metrics`` body: Prometheus text exposition format.
+
+        One sample per model per family, rendered straight from the
+        batchers' counter dicts — the scheduler's hot path pays one
+        integer increment per observation, and the cumulative ``le``
+        ladder Prometheus histograms require is computed here, at
+        scrape time.
+        """
+        stats = {name: self._batchers[name].stats for name in sorted(self._batchers)}
+        out: list[str] = []
+
+        def counter(metric: str, help_text: str, key: str) -> None:
+            out.append(f"# HELP {metric} {help_text}")
+            out.append(f"# TYPE {metric} counter")
+            for name, s in stats.items():
+                out.append(f'{metric}{{model="{name}"}} {s[key]}')
+
+        def histogram(
+            metric: str, help_text: str, edges: tuple, bucket_key: str, sum_key: str
+        ) -> None:
+            out.append(f"# HELP {metric} {help_text}")
+            out.append(f"# TYPE {metric} histogram")
+            for name, s in stats.items():
+                cumulative = 0
+                for edge, count in zip(edges, s[bucket_key]):
+                    cumulative += count
+                    out.append(
+                        f'{metric}_bucket{{model="{name}",le="{edge}"}} {cumulative}'
+                    )
+                cumulative += s[bucket_key][-1]
+                out.append(f'{metric}_bucket{{model="{name}",le="+Inf"}} {cumulative}')
+                out.append(f'{metric}_sum{{model="{name}"}} {s[sum_key]}')
+                out.append(f'{metric}_count{{model="{name}"}} {cumulative}')
+
+        counter(
+            "repro_serve_requests_total",
+            "Requests admitted to the micro-batch scheduler.",
+            "requests",
+        )
+        counter(
+            "repro_serve_rejected_total",
+            "Requests rejected with 429 backpressure before queueing.",
+            "rejected",
+        )
+        counter(
+            "repro_serve_batches_total",
+            "Coalesced batches dispatched as single kernel calls.",
+            "batches",
+        )
+        histogram(
+            "repro_serve_request_latency_seconds",
+            "Wall time from admission to answer, per request.",
+            LATENCY_BUCKETS_S,
+            "latency_buckets",
+            "latency_seconds_sum",
+        )
+        histogram(
+            "repro_serve_batch_rows",
+            "Rows per coalesced batch.",
+            BATCH_SIZE_BUCKETS,
+            "batch_buckets",
+            "batch_rows_sum",
+        )
+        return "\n".join(out) + "\n"
+
     # -- HTTP plumbing ---------------------------------------------------------
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -259,13 +329,19 @@ class ServeServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | str,
         keep_alive: bool,
     ) -> None:
-        body = (json.dumps(payload) + "\n").encode("utf-8")
+        if isinstance(payload, str):
+            # Non-JSON routes (/metrics) hand back ready-made text.
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
@@ -274,11 +350,17 @@ class ServeServer:
         await writer.drain()
 
     # -- routing ---------------------------------------------------------------
-    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict | str]:
         if path == "/healthz":
             if method != "GET":
                 raise _HTTPError(405, "healthz is GET-only")
             return 200, {"ok": True, "models": self.registry.names()}
+        if path == "/metrics":
+            if method != "GET":
+                raise _HTTPError(405, "metrics is GET-only")
+            return 200, self._render_metrics()
         if path == "/v1/models":
             if method != "GET":
                 raise _HTTPError(405, "model listing is GET-only")
@@ -505,6 +587,21 @@ class ServerThread:
             response = conn.getresponse()
             raw = response.read()
             return response.status, json.loads(raw.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def request_text(
+        self, method: str, path: str, timeout: float = 30.0
+    ) -> tuple[int, str]:
+        """Like :meth:`request` for non-JSON routes (``/metrics``).
+
+        Returns ``(status_code, body_text)``.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            return response.status, response.read().decode("utf-8")
         finally:
             conn.close()
 

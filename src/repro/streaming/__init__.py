@@ -13,7 +13,8 @@ This package is that computation's single implementation:
   (:class:`JigsawsStream`, :class:`MarsExpressStream`) whose per-cell
   RNG substreams make any chunking bit-identical;
 * :mod:`repro.streaming.files` — file-backed sources
-  (:class:`JsonlChunkSource`, :class:`NpyMmapChunkSource`) for
+  (:class:`JsonlChunkSource`, :class:`CsvChunkSource`,
+  :class:`NpyMmapChunkSource`) for
   ``train --stream --input PATH``, O(chunk) resident memory;
 * :mod:`repro.streaming.reduce` — :func:`stream_encode` (chunking
   invariant record encoding via position-keyed tie coins) and
@@ -42,7 +43,12 @@ from .chunks import (
     skip_chunks,
     split_chunks,
 )
-from .files import JsonlChunkSource, NpyMmapChunkSource, file_chunk_source
+from .files import (
+    CsvChunkSource,
+    JsonlChunkSource,
+    NpyMmapChunkSource,
+    file_chunk_source,
+)
 from .sources import JigsawsStream, MarsExpressStream
 from .reduce import (
     StreamStats,
@@ -76,6 +82,7 @@ __all__ = [
     "split_chunks",
     "JigsawsStream",
     "JsonlChunkSource",
+    "CsvChunkSource",
     "MarsExpressStream",
     "NpyMmapChunkSource",
     "file_chunk_source",

@@ -11,6 +11,10 @@ speaks:
   ``"features"`` array and (for training) a ``"target"`` scalar, the
   exact record shape of the ``serve`` JSONL loop.  Lines are read
   lazily, so the file never loads whole.
+* :class:`CsvChunkSource` — a header-led CSV file whose column named
+  ``target`` (if present) carries the label/value and every other
+  column is a numeric feature; rows are read lazily and validation
+  errors point at the offending ``path:lineno``.
 * :class:`NpyMmapChunkSource` — a ``(n, k)`` float ``.npy`` array
   opened with ``mmap_mode="r"``; chunks are zero-copy views into the
   mapping, so the OS pages rows in and out on demand.
@@ -24,7 +28,9 @@ file replayed with any ``chunk_size`` trains the identical model.
 
 from __future__ import annotations
 
+import csv
 import json
+import math
 import os
 from pathlib import Path
 from typing import Any, Iterator, Union
@@ -36,6 +42,7 @@ from .chunks import Chunk, default_chunk_rows
 
 __all__ = [
     "JsonlChunkSource",
+    "CsvChunkSource",
     "NpyMmapChunkSource",
     "file_chunk_source",
 ]
@@ -183,6 +190,175 @@ class JsonlChunkSource:
         )
 
 
+class CsvChunkSource:
+    """Stream a header-led CSV file as chunks.
+
+    The first non-blank row is the header: the column literally named
+    ``target`` (if present) carries the label or regression value and
+    every other column is a numeric feature, in header order.  A file
+    without a ``target`` column is an unlabelled prediction stream.
+    The header binds ``num_features``; every data row must then match
+    the header width and parse, and any violation — empty or duplicate
+    column names, a ragged row, a non-numeric feature cell, an empty
+    target cell — raises with the offending ``path:lineno``.
+
+    Rows are read lazily through :mod:`csv` (quoting and embedded
+    commas handled) and buffered ``chunk_size`` rows at a time, so peak
+    memory is O(chunk); iterating twice re-reads the file from the top,
+    yielding identical chunks, as the
+    :class:`~repro.streaming.chunks.ChunkSource` protocol requires.
+
+    Example
+    -------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "rows.csv")
+    >>> with open(path, "w") as fh:
+    ...     _ = fh.write("x,y,target\\n")
+    ...     _ = fh.write("0.0,1.0,g0\\n1.0,2.0,g1\\n2.0,3.0,g0\\n")
+    >>> src = CsvChunkSource(path, chunk_size=2)
+    >>> (src.num_features, src.labelled)
+    (2, True)
+    >>> [(c.start, c.rows) for c in src]
+    [(0, 2), (2, 1)]
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        chunk_size: Union[int, None] = None,
+        split: str = "train",
+        meta: Union[dict[str, Any], None] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.chunk_size = default_chunk_rows(chunk_size)
+        self.split = split
+        self.meta = dict(meta or {})
+        self.meta.setdefault("source", str(self.path))
+        self._columns = self._read_header()
+        self._target_index = (
+            self._columns.index("target") if "target" in self._columns else None
+        )
+        self.feature_names = [c for c in self._columns if c != "target"]
+        self.num_features = len(self.feature_names)
+
+    def _read_header(self) -> list[str]:
+        with open(self.path, "r", encoding="utf-8", newline="") as fh:
+            reader = csv.reader(fh)
+            for row in reader:
+                if not row or all(not cell.strip() for cell in row):
+                    continue
+                lineno = reader.line_num
+                names = [cell.strip() for cell in row]
+                if any(not name for name in names):
+                    raise InvalidParameterError(
+                        f"{self.path}:{lineno}: header has an empty column name"
+                    )
+                duplicates = sorted({n for n in names if names.count(n) > 1})
+                if duplicates:
+                    raise InvalidParameterError(
+                        f"{self.path}:{lineno}: duplicate column name(s) "
+                        f"{duplicates}"
+                    )
+                if names == ["target"]:
+                    raise InvalidParameterError(
+                        f"{self.path}:{lineno}: header needs at least one "
+                        "feature column besides 'target'"
+                    )
+                return names
+        raise InvalidParameterError(f"{self.path} holds no header row")
+
+    @property
+    def labelled(self) -> bool:
+        """Whether the header declares a ``target`` column."""
+        return self._target_index is not None
+
+    def _parse_feature(self, name: str, cell: str, lineno: int) -> float:
+        try:
+            value = float(cell)
+        except ValueError:
+            raise InvalidParameterError(
+                f"{self.path}:{lineno}: column {name!r} must be numeric, "
+                f"got {cell!r}"
+            ) from None
+        if not math.isfinite(value):
+            raise InvalidParameterError(
+                f"{self.path}:{lineno}: column {name!r} must be finite, "
+                f"got {cell!r}"
+            )
+        return value
+
+    def _parse_target(self, cell: str, lineno: int) -> Any:
+        text = cell.strip()
+        if not text:
+            raise InvalidParameterError(
+                f"{self.path}:{lineno}: empty 'target' cell in a labelled stream"
+            )
+        try:
+            value = float(text)
+        except ValueError:
+            return text  # a string class label
+        if not math.isfinite(value):
+            raise InvalidParameterError(
+                f"{self.path}:{lineno}: 'target' must be finite, got {cell!r}"
+            )
+        return value
+
+    def __iter__(self) -> Iterator[Chunk]:
+        features: list[list] = []
+        targets: list = []
+        start = 0
+
+        def emit() -> Chunk:
+            nonlocal start, features, targets
+            chunk = Chunk(
+                features=np.asarray(features, dtype=np.float64),
+                targets=_as_targets(targets) if self.labelled else None,
+                start=start,
+                split=self.split,
+                meta=self.meta,
+            )
+            start += len(features)
+            features, targets = [], []
+            return chunk
+
+        with open(self.path, "r", encoding="utf-8", newline="") as fh:
+            reader = csv.reader(fh)
+            header_seen = False
+            for row in reader:
+                if not row or all(not cell.strip() for cell in row):
+                    continue
+                if not header_seen:  # validated in __init__
+                    header_seen = True
+                    continue
+                lineno = reader.line_num
+                if len(row) != len(self._columns):
+                    raise InvalidParameterError(
+                        f"{self.path}:{lineno}: expected {len(self._columns)} "
+                        f"column(s), got {len(row)}"
+                    )
+                feats = []
+                target = None
+                for i, cell in enumerate(row):
+                    if i == self._target_index:
+                        target = self._parse_target(cell, lineno)
+                    else:
+                        feats.append(
+                            self._parse_feature(self._columns[i], cell, lineno)
+                        )
+                features.append(feats)
+                targets.append(target)
+                if len(features) == self.chunk_size:
+                    yield emit()
+        if features:
+            yield emit()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CsvChunkSource({str(self.path)!r}, k={self.num_features}, "
+            f"chunk_size={self.chunk_size}, split={self.split!r})"
+        )
+
+
 class NpyMmapChunkSource:
     """Stream a memory-mapped ``.npy`` feature matrix as chunks.
 
@@ -288,15 +464,19 @@ def file_chunk_source(
     """Open ``path`` as a chunk source, picking the reader by extension.
 
     The ``train --stream --input PATH`` entry point: ``.jsonl`` opens a
-    :class:`JsonlChunkSource`; ``.npy`` opens a
-    :class:`NpyMmapChunkSource`, looking for targets in a sibling
-    ``<stem>.targets.npy`` file (``x.npy`` + ``x.targets.npy``).
-    Anything else raises :class:`~repro.exceptions.InvalidParameterError`.
+    :class:`JsonlChunkSource`; ``.csv`` opens a :class:`CsvChunkSource`
+    (the column named ``target`` carries the label, everything else is
+    a feature); ``.npy`` opens a :class:`NpyMmapChunkSource`, looking
+    for targets in a sibling ``<stem>.targets.npy`` file (``x.npy`` +
+    ``x.targets.npy``).  Anything else raises
+    :class:`~repro.exceptions.InvalidParameterError`.
     """
     path = Path(path)
     suffix = path.suffix.lower()
     if suffix == ".jsonl":
         return JsonlChunkSource(path, chunk_size=chunk_size, split=split)
+    if suffix == ".csv":
+        return CsvChunkSource(path, chunk_size=chunk_size, split=split)
     if suffix == ".npy":
         targets = path.with_suffix(".targets.npy")
         return NpyMmapChunkSource(
@@ -306,5 +486,6 @@ def file_chunk_source(
             split=split,
         )
     raise InvalidParameterError(
-        f"unsupported --input extension {suffix!r} (expected .jsonl or .npy): {path}"
+        f"unsupported --input extension {suffix!r} "
+        f"(expected .jsonl, .csv or .npy): {path}"
     )

@@ -1,0 +1,240 @@
+"""Process-pool serving tier: exactness, crash safety, segment hygiene.
+
+The contract under test (see :mod:`repro.serve.procpool`): for any
+worker count, batch size, model kind and decode mode, the
+process-backed predict tier answers **bit-identically** to the inline
+``predict_one``/``predict`` paths — through hot swaps, after a
+``SIGKILL``-ed worker, and under the ``spawn`` start method — and
+shutting it down leaves zero shared-memory segments behind (including
+after the owning process dies, via the kill-safe manifest reaper).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.basis import LevelBasis
+from repro.exceptions import InvalidParameterError
+from repro.learning import HDRegressor
+from repro.serve import (
+    InferenceEngine,
+    ModelRegistry,
+    OnlineLearner,
+    ProcPredictPool,
+    TrainedPipeline,
+    default_proc_workers,
+    reap_stale_segments,
+    save_model,
+)
+from repro.serve.procpool import _MANIFEST_DIR, _write_manifest
+
+
+def _rows(pipeline, n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 2.0 * np.pi, (n, pipeline.num_features))
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+def _regression_pipeline(model: str, decode: str, dim: int = 256):
+    """A trained HDRegressor pipeline at the given model/decode combo."""
+    emb = LevelBasis(32, dim, seed=5).linear_embedding(0.0, 1.0)
+    x = np.linspace(0.0, 1.0, 48)
+    reg = HDRegressor(emb, seed=9, decode=decode, model=model).fit(
+        emb.encode_packed(x), x
+    )
+    return TrainedPipeline(kind="regression", model=reg, embedding=emb)
+
+
+# -- exactness across worker counts, batch sizes and model kinds ---------------
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+@pytest.mark.parametrize("batch", [1, 7, 32])
+def test_classifier_matches_inline(classification_pipeline, workers, batch):
+    rows = _rows(classification_pipeline, batch, seed=batch)
+    with InferenceEngine(classification_pipeline, proc_workers=1) as inline:
+        expected = inline.predict(rows)
+        expected_one = [inline.predict_one(r) for r in rows]
+    with InferenceEngine(classification_pipeline, proc_workers=workers) as engine:
+        assert engine._proc is not None
+        assert engine.predict(rows) == expected == expected_one
+        assert list(engine.predict_coalesced(rows)) == expected
+
+
+@pytest.mark.parametrize("model_mode", ["binary", "integer"])
+@pytest.mark.parametrize("decode", ["argmin", "weighted"])
+def test_regressor_matches_inline(model_mode, decode):
+    pipeline = _regression_pipeline(model_mode, decode)
+    rows = np.linspace(0.05, 0.95, 23)[:, None]
+    with InferenceEngine(pipeline, proc_workers=1) as inline:
+        expected = inline.predict(rows)
+    with InferenceEngine(pipeline, proc_workers=3) as engine:
+        assert engine._proc is not None
+        np.testing.assert_array_equal(engine.predict(rows), expected)
+
+
+def test_random_tie_pipeline_matches_sequential(random_tie_pipeline):
+    """Tie-break RNG never crosses the pipe: coalesced answers under the
+    process pool still equal sequential predict_one row for row."""
+    rows = np.random.default_rng(3).random((12, 4))
+    with InferenceEngine(random_tie_pipeline, proc_workers=1) as inline:
+        expected = [inline.predict_one(r) for r in rows]
+    with InferenceEngine(random_tie_pipeline, proc_workers=2) as engine:
+        assert engine._proc is not None
+        assert engine.predict_coalesced(rows) == expected
+
+
+def test_empty_batch_and_repr(classification_pipeline):
+    with InferenceEngine(classification_pipeline, proc_workers=2) as engine:
+        assert engine.predict_coalesced(np.empty((0, engine.num_features))) == []
+        assert "proc_workers=2" in repr(engine)
+
+
+# -- crash safety ---------------------------------------------------------------
+
+
+def test_sigkilled_worker_respawns_exactly(classification_pipeline):
+    rows = _rows(classification_pipeline, 16, seed=1)
+    with InferenceEngine(classification_pipeline, proc_workers=2) as engine:
+        pool = engine._proc
+        assert pool is not None
+        before = engine.predict(rows)
+        victim = pool._procs[1]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(5)
+        assert engine.predict(rows) == before
+
+
+def test_spawn_start_method_matches(classification_pipeline):
+    rows = _rows(classification_pipeline, 9, seed=4)
+    with InferenceEngine(classification_pipeline, proc_workers=1) as inline:
+        expected = inline.predict(rows)
+    pool = ProcPredictPool(classification_pipeline, workers=2, start_method="spawn")
+    try:
+        assert pool.predict(inline.encode(rows)) == expected
+    finally:
+        pool.close()
+    assert not _segment_exists(pool.segment_name)
+
+
+# -- segment hygiene ------------------------------------------------------------
+
+
+def test_close_unlinks_segment_and_manifest(classification_pipeline):
+    with InferenceEngine(classification_pipeline, proc_workers=2) as engine:
+        pool = engine._proc
+        assert pool is not None
+        name = pool.segment_name
+        assert _segment_exists(name)
+    assert not _segment_exists(name)
+    assert pool.closed
+    pool.close()  # idempotent
+
+    leftovers = [
+        p
+        for p in _MANIFEST_DIR.glob(f"{os.getpid()}-*.json")
+        if name in p.read_text()
+    ]
+    assert leftovers == []
+
+
+def test_reap_stale_segments_unlinks_dead_owners(classification_pipeline):
+    """A manifest whose owner pid is dead marks its segments for reaping."""
+    seg = shared_memory.SharedMemory(create=True, size=64)
+    manifest = _write_manifest([seg.name])
+    fake = _MANIFEST_DIR / f"999999999-{manifest.name.split('-', 1)[1]}"
+    payload = json.loads(manifest.read_text())
+    payload["pid"] = 999999999
+    fake.write_text(json.dumps(payload))
+    manifest.unlink()
+    seg.close()
+    try:
+        reaped = reap_stale_segments()
+        assert seg.name in reaped
+        assert not _segment_exists(seg.name)
+        assert not fake.exists()
+    finally:
+        if fake.exists():
+            fake.unlink()
+        if _segment_exists(seg.name):
+            shared_memory.SharedMemory(name=seg.name).unlink()
+
+
+# -- hot swap and staleness ------------------------------------------------------
+
+
+def test_hot_swap_republishes_segment(classification_pipeline, tmp_path):
+    path_a = tmp_path / "a.npz"
+    save_model(classification_pipeline, path_a)
+    rows = _rows(classification_pipeline, 8, seed=2)
+    with ModelRegistry(proc_workers=2) as registry:
+        registry.register("m", str(path_a))
+        engine_a = registry.engine("m")
+        assert engine_a._proc is not None
+        seg_a = engine_a._proc.segment_name
+        expected = engine_a.predict(rows)
+
+        registry.swap("m", str(path_a))
+        engine_b = registry.engine("m")
+        assert engine_b is not engine_a
+        assert engine_b._proc is not None
+        seg_b = engine_b._proc.segment_name
+        assert seg_b != seg_a
+        # Old generation drained (no leases held) → its segment is gone.
+        assert not _segment_exists(seg_a)
+        assert engine_b.predict(rows) == expected
+    assert not _segment_exists(seg_b)
+
+
+def test_online_learning_marks_pool_stale(classification_pipeline):
+    """Mutating the model after publication must fall back inline, not
+    serve the frozen snapshot."""
+    rows = _rows(classification_pipeline, 6, seed=8)
+    with InferenceEngine(classification_pipeline, proc_workers=2) as engine:
+        assert engine._proc is not None and not engine._proc.stale()
+        engine.predict(rows)  # snapshot path works
+        with OnlineLearner(classification_pipeline) as learner:
+            learner.learn(rows, ["G1"] * len(rows))
+            assert engine._proc.stale()
+            # Inline fallback equals a fresh inline engine on the mutated model.
+            with InferenceEngine(classification_pipeline, proc_workers=1) as ref:
+                assert engine.predict(rows) == ref.predict(rows)
+
+
+# -- knob resolution -------------------------------------------------------------
+
+
+def test_default_proc_workers_resolution(monkeypatch):
+    assert default_proc_workers(3) == 3
+    assert default_proc_workers(1) == 1
+    monkeypatch.setenv("REPRO_SERVE_PROC_WORKERS", "5")
+    assert default_proc_workers() == 5
+    monkeypatch.setenv("REPRO_SERVE_PROC_WORKERS", "0")  # 0 = auto
+    assert default_proc_workers() >= 1
+    with pytest.raises(InvalidParameterError):
+        default_proc_workers(-1)
+    with pytest.raises(InvalidParameterError):
+        default_proc_workers(True)
+
+
+def test_workers_above_rows_still_exact(classification_pipeline):
+    """More workers than rows: some ranges are empty, answers unchanged."""
+    rows = _rows(classification_pipeline, 2, seed=6)
+    with InferenceEngine(classification_pipeline, proc_workers=1) as inline:
+        expected = inline.predict(rows)
+    with InferenceEngine(classification_pipeline, proc_workers=3) as engine:
+        assert engine.predict(rows) == expected

@@ -1,0 +1,120 @@
+"""Slow and misbehaving HTTP clients must never wedge the server.
+
+The asyncio front end reads requests with ``readline``/``readexactly``;
+a client that dribbles bytes, stalls mid-body, or disconnects without
+finishing a line exercises exactly those await points.  Each test
+drives a live :class:`~repro.serve.server.ServerThread` with raw
+sockets and then proves the server is still fully functional — and the
+autouse thread-leak fixture (``conftest.no_thread_leaks``) fails the
+test if a reader was left hanging after shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.serve import ModelRegistry, ServerThread
+
+
+@pytest.fixture()
+def server(classification_pipeline):
+    registry = ModelRegistry()
+    registry.register("gesture", classification_pipeline)
+    with ServerThread(registry, own_registry=True) as srv:
+        yield srv
+
+
+def _connect(server) -> socket.socket:
+    sock = socket.create_connection((server.host, server.port), timeout=10)
+    sock.settimeout(10)
+    return sock
+
+
+def _read_response(sock: socket.socket) -> tuple[int, bytes]:
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise AssertionError(f"connection closed mid-response: {data!r}")
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        key, _, value = line.partition(b":")
+        if key.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(body) < length:
+        chunk = sock.recv(4096)
+        if not chunk:
+            break
+        body += chunk
+    return status, body
+
+
+def test_byte_dribbled_request_is_answered(server):
+    """A request delivered one byte at a time still gets a full answer."""
+    request = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+    with _connect(server) as sock:
+        for i in range(len(request)):
+            sock.sendall(request[i : i + 1])
+            if i % 8 == 0:
+                time.sleep(0.001)
+        status, body = _read_response(sock)
+    assert status == 200
+    assert json.loads(body)["models"] == ["gesture"]
+
+
+def test_disconnect_mid_body_leaves_server_healthy(server):
+    """Dying between headers and the promised body must not wedge a reader."""
+    body = json.dumps({"features": [0.0] * 10}).encode()
+    head = (
+        f"POST /v1/models/gesture:predict HTTP/1.1\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode()
+    for _ in range(3):
+        sock = _connect(server)
+        sock.sendall(head + body[: len(body) // 2])  # promise more, never deliver
+        sock.close()
+    status, payload = server.request("GET", "/healthz")
+    assert status == 200 and payload["ok"] is True
+
+
+def test_partial_request_line_then_close(server):
+    """A connection dropped mid-request-line is just dropped, not an error."""
+    for fragment in (b"", b"GET", b"GET /hea"):
+        sock = _connect(server)
+        if fragment:
+            sock.sendall(fragment)
+        sock.close()
+    status, payload = server.request("GET", "/healthz")
+    assert status == 200 and payload["ok"] is True
+
+
+def test_stalled_body_does_not_block_other_clients(server):
+    """One client stalled mid-body must not serialise the whole server."""
+    stalled = _connect(server)
+    stalled.sendall(
+        b"POST /v1/models/gesture:predict HTTP/1.1\r\nContent-Length: 100\r\n\r\n"
+    )
+    try:
+        # While the stalled client holds its connection open, others work.
+        status, payload = server.request("GET", "/healthz")
+        assert status == 200 and payload["ok"] is True
+    finally:
+        stalled.close()
+
+
+def test_metrics_after_misbehaving_clients(server):
+    """The metrics route still renders after garbage connections."""
+    sock = _connect(server)
+    sock.sendall(b"garbage\r\n")
+    sock.close()
+    status, text = server.request_text("GET", "/metrics")
+    assert status == 200
+    assert "repro_serve_requests_total" in text
+    assert 'le="+Inf"' in text

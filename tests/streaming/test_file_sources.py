@@ -11,6 +11,7 @@ import pytest
 from repro.exceptions import InvalidParameterError
 from repro.experiments.config import ClassificationConfig
 from repro.streaming import (
+    CsvChunkSource,
     JsonlChunkSource,
     NpyMmapChunkSource,
     file_chunk_source,
@@ -27,6 +28,19 @@ def write_jsonl(path, rows, labelled=True, label=lambda i: i % 4):
             if labelled:
                 record["target"] = label(i)
             fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def write_csv(path, rows, labelled=True, label=lambda i: f"g{i % 4}"):
+    names = [f"f{j}" for j in range(len(rows[0]))]
+    header = ",".join(names + (["target"] if labelled else []))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(header + "\n")
+        for i, row in enumerate(rows):
+            cells = [repr(float(v)) for v in row]
+            if labelled:
+                cells.append(str(label(i)))
+            fh.write(",".join(cells) + "\n")
     return path
 
 
@@ -183,7 +197,108 @@ class TestFileChunkSource:
 
     def test_unsupported_extension_rejected(self, tmp_path):
         with pytest.raises(InvalidParameterError, match="--input extension"):
-            file_chunk_source(tmp_path / "rows.csv")
+            file_chunk_source(tmp_path / "rows.parquet")
+
+    def test_csv_dispatch(self, tmp_path, gesture_rows):
+        path = write_csv(tmp_path / "rows.csv", gesture_rows[:10])
+        src = file_chunk_source(path)
+        assert isinstance(src, CsvChunkSource)
+        assert src.num_features == 18 and src.labelled
+
+
+class TestCsvChunkSource:
+    def test_chunk_boundaries_and_starts(self, tmp_path, gesture_rows):
+        path = write_csv(tmp_path / "rows.csv", gesture_rows)
+        src = CsvChunkSource(path, chunk_size=50)
+        chunks = list(src)
+        assert [(c.start, c.rows) for c in chunks] == [(0, 50), (50, 50), (100, 20)]
+        assert np.allclose(
+            np.concatenate([c.features for c in chunks]), gesture_rows
+        )
+        assert src.num_features == 18 and src.labelled
+        assert src.feature_names == [f"f{j}" for j in range(18)]
+
+    def test_two_passes_are_identical(self, tmp_path, gesture_rows):
+        path = write_csv(tmp_path / "rows.csv", gesture_rows)
+        src = CsvChunkSource(path, chunk_size=33)
+        first = [(c.start, c.features.copy(), c.targets.copy()) for c in src]
+        second = [(c.start, c.features, c.targets) for c in src]
+        assert len(first) == len(second)
+        for (s1, f1, t1), (s2, f2, t2) in zip(first, second):
+            assert s1 == s2
+            assert np.array_equal(f1, f2) and np.array_equal(t1, t2)
+
+    def test_string_labels_stay_objects(self, tmp_path, gesture_rows):
+        path = write_csv(tmp_path / "s.csv", gesture_rows[:6])
+        chunk = next(iter(CsvChunkSource(path, chunk_size=6)))
+        assert chunk.targets.dtype == object
+        assert chunk.targets.tolist() == ["g0", "g1", "g2", "g3", "g0", "g1"]
+
+    def test_numeric_labels_become_float64(self, tmp_path, gesture_rows):
+        path = write_csv(tmp_path / "n.csv", gesture_rows[:4], label=lambda i: i % 2)
+        chunk = next(iter(CsvChunkSource(path, chunk_size=4)))
+        assert chunk.targets.dtype == np.float64
+        assert chunk.targets.tolist() == [0.0, 1.0, 0.0, 1.0]
+
+    def test_unlabelled_file_has_no_targets(self, tmp_path, gesture_rows):
+        path = write_csv(tmp_path / "u.csv", gesture_rows[:8], labelled=False)
+        src = CsvChunkSource(path, chunk_size=3)
+        assert not src.labelled
+        assert all(c.targets is None for c in src)
+
+    def test_target_column_position_does_not_matter(self, tmp_path):
+        path = tmp_path / "mid.csv"
+        path.write_text("a,target,b\n1.0,g0,2.0\n3.0,g1,4.0\n")
+        src = CsvChunkSource(path, chunk_size=10)
+        assert src.feature_names == ["a", "b"]
+        chunk = next(iter(src))
+        assert chunk.features.tolist() == [[1.0, 2.0], [3.0, 4.0]]
+        assert chunk.targets.tolist() == ["g0", "g1"]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("x,target\n\n1.0,g0\n   \n2.0,g1\n")
+        chunks = list(CsvChunkSource(path, chunk_size=10))
+        assert chunks[0].rows == 2
+
+    @pytest.mark.parametrize(
+        "header, message",
+        [
+            ("x,,target", "empty column name"),
+            ("x,x,target", "duplicate column name"),
+            ("target", "at least one feature column"),
+        ],
+    )
+    def test_bad_header_points_at_lineno(self, tmp_path, header, message):
+        path = tmp_path / "bad.csv"
+        path.write_text(header + "\n1.0,g0\n")
+        with pytest.raises(InvalidParameterError, match=message) as excinfo:
+            CsvChunkSource(path)
+        assert f"{path}:1" in str(excinfo.value)
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n  \n")
+        with pytest.raises(InvalidParameterError, match="no header row"):
+            CsvChunkSource(path)
+
+    @pytest.mark.parametrize(
+        "row, message",
+        [
+            ("1.0,2.0", "expected 3 column"),
+            ("1.0,2.0,3.0,g1", "expected 3 column"),
+            ("1.0,oops,g1", "column 'y' must be numeric"),
+            ("1.0,inf,g1", "column 'y' must be finite"),
+            ("1.0,2.0,", "empty 'target' cell"),
+            ("1.0,2.0,nan", "'target' must be finite"),
+        ],
+    )
+    def test_bad_row_points_at_lineno(self, tmp_path, row, message):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,target\n0.0,1.0,g0\n" + row + "\n")
+        with pytest.raises(InvalidParameterError, match=message) as excinfo:
+            list(CsvChunkSource(path, chunk_size=10))
+        assert f"{path}:3" in str(excinfo.value)
 
 
 class TestTrainFromFile:
@@ -222,6 +337,23 @@ class TestTrainFromFile:
                                      chunk_size=64)
         b, _ = train_pipeline_stream("suturing", config=config, input_path=npy,
                                      chunk_size=64)
+        for label in a.model.classes:
+            assert np.array_equal(
+                a.model.class_vector(label), b.model.class_vector(label)
+            )
+
+    def test_csv_and_jsonl_train_the_same_model(self, data_files, tmp_path,
+                                                gesture_rows):
+        jl, _ = data_files
+        csv_path = write_csv(tmp_path / "train.csv", gesture_rows,
+                             label=lambda i: i % 4)
+        config = ClassificationConfig(dim=256, seed=7)
+        a, _ = train_pipeline_stream("suturing", config=config, input_path=jl,
+                                     chunk_size=64)
+        b, stats = train_pipeline_stream("suturing", config=config,
+                                         input_path=csv_path, chunk_size=64)
+        assert stats.rows == 120
+        assert a.model.classes == b.model.classes
         for label in a.model.classes:
             assert np.array_equal(
                 a.model.class_vector(label), b.model.class_vector(label)
